@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every bench prints the regenerated paper artefact (table/figure) to
+stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+reports inline, or check the captured output on failure.
+
+Heavy experiments (the Figure 2 sweep runs 240 virtual seconds per
+client count) use ``benchmark.pedantic(rounds=1)`` — the simulation is
+deterministic, so repetition would only re-measure host noise.
+"""
+
+import pytest
+
+
+def emit(report: str) -> None:
+    """Print a bench report under a visible separator."""
+    print()
+    print("=" * 78)
+    print(report)
+    print("=" * 78)

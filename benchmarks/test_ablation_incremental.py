@@ -1,0 +1,27 @@
+"""E11 — incremental view maintenance vs. per-step recomputation."""
+
+from repro.bench.incremental_ablation import drive_steps, run_incremental_ablation
+from repro.protocols.ss2pl import PaperListing1Protocol
+from repro.protocols.ss2pl_incremental import SS2PLIncrementalProtocol
+
+from benchmarks.conftest import emit
+
+
+def test_incremental_ablation_report(benchmark):
+    report = benchmark.pedantic(
+        run_incremental_ablation,
+        kwargs={"clients": 200, "steps": 30},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert "speedup" in report
+
+
+def test_incremental_is_faster_and_equivalent():
+    recompute = drive_steps(PaperListing1Protocol(), clients=150, steps=20)
+    incremental = drive_steps(
+        SS2PLIncrementalProtocol(), clients=150, steps=20
+    )
+    assert incremental.batches == recompute.batches
+    assert incremental.total_seconds < recompute.total_seconds

@@ -1,0 +1,26 @@
+"""E12 — external MPL admission control vs raw native at 500 clients."""
+
+from repro.bench.mpl_ablation import run_mpl_ablation
+from repro.server.engine import SimulatedDBMS
+from repro.workload.spec import PAPER_WORKLOAD
+
+from benchmarks.conftest import emit
+
+
+def test_mpl_ablation_report(benchmark):
+    report = benchmark.pedantic(
+        run_mpl_ablation,
+        kwargs={"clients": 500, "duration": 240.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert "uncapped" in report
+
+
+def test_cap_below_knee_restores_throughput():
+    dbms = SimulatedDBMS(PAPER_WORKLOAD, seed=42)
+    uncapped = dbms.run_multi_user(500, duration=240.0)
+    capped = dbms.run_multi_user(500, duration=240.0, mpl_cap=300)
+    assert capped.committed_statements > uncapped.committed_statements * 5
+    assert capped.mu_over_su_percent < 200

@@ -1,0 +1,39 @@
+"""E3 — Figure 2: MU/SU execution-time ratio vs number of clients.
+
+Full-scale reproduction: the paper's 240 s window at each client count.
+The shape assertions encode Figure 2's qualitative curve — near-flat to
+~300 clients, then a sharp (log-scale) rise.
+"""
+
+from repro.bench.figure2 import run_figure2, sweep_native
+
+from benchmarks.conftest import emit
+
+CLIENT_COUNTS = (1, 100, 200, 300, 350, 400, 450, 500, 600)
+
+
+def test_figure2_full_sweep(benchmark):
+    report = benchmark.pedantic(
+        run_figure2,
+        kwargs={"client_counts": CLIENT_COUNTS, "duration": 240.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert "Figure 2" in report
+
+
+def test_figure2_shape():
+    points = {
+        p.clients: p for p in sweep_native((1, 300, 500), duration=240.0)
+    }
+    # Near-flat region: within 2x of SU at 300 clients (paper: 124%).
+    assert 100 < points[300].ratio_percent < 200
+    # Collapse: order-of-magnitude blowup at 500 (paper: ~1600%).
+    assert points[500].ratio_percent > 1000
+    # Monotone rise.
+    assert (
+        points[1].ratio_percent
+        < points[300].ratio_percent
+        < points[500].ratio_percent
+    )

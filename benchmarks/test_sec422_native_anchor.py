@@ -1,0 +1,52 @@
+"""E4 — Section 4.2.2 anchor numbers at 300 and 500 clients.
+
+Paper: at 300 clients 550 055 statements committed in 240 s (SU replay
+194 s, overhead 46 s); at 500 clients 48 267 statements (SU 15 s,
+overhead 225 s).  We assert the same relationships at matching orders
+of magnitude.
+"""
+
+from repro.bench.figure2 import sweep_native
+
+from benchmarks.conftest import emit
+from repro.metrics.reporting import ComparisonRow, render_comparison
+
+
+def test_sec422_anchors(benchmark):
+    points = benchmark.pedantic(
+        sweep_native,
+        kwargs={"client_counts": (300, 500), "duration": 240.0},
+        rounds=1,
+        iterations=1,
+    )
+    at_300, at_500 = points
+    emit(
+        render_comparison(
+            [
+                ComparisonRow("stmts @300", 550_055, at_300.committed_statements),
+                ComparisonRow("SU replay @300 (s)", 194.0, round(at_300.su_seconds, 1)),
+                ComparisonRow(
+                    "overhead @300 (s)", 46.0,
+                    round(at_300.mu_seconds - at_300.su_seconds, 1),
+                ),
+                ComparisonRow("stmts @500", 48_267, at_500.committed_statements),
+                ComparisonRow("SU replay @500 (s)", 15.0, round(at_500.su_seconds, 1)),
+                ComparisonRow(
+                    "overhead @500 (s)", 225.0,
+                    round(at_500.mu_seconds - at_500.su_seconds, 1),
+                ),
+            ],
+            title="Section 4.2.2 anchors",
+        )
+    )
+    # Same order of magnitude as the paper at both anchors.
+    assert 250_000 < at_300.committed_statements < 1_000_000
+    assert 10_000 < at_500.committed_statements < 150_000
+    # Overhead relationships: small at 300, dominating at 500.
+    overhead_300 = at_300.mu_seconds - at_300.su_seconds
+    overhead_500 = at_500.mu_seconds - at_500.su_seconds
+    assert overhead_300 < 120
+    assert overhead_500 > 180
+    # The 500-client replay is far shorter than the 300-client one
+    # (collapsed throughput => fewer statements to replay).
+    assert at_500.su_seconds < at_300.su_seconds / 5

@@ -1,0 +1,33 @@
+"""E6 — Section 4.4: the native-vs-declarative overhead crossover.
+
+Paper claims: native wins at 300 clients (46 s vs 1314 s), declarative
+wins at 500 (106 s vs 225 s) — "for 500 concurrent clients, the
+set-at-a-time approach ... is faster than a native scheduler".
+"""
+
+from repro.bench.crossover import run_crossover, sweep_crossover
+
+from benchmarks.conftest import emit
+
+
+def test_crossover_report(benchmark):
+    report = benchmark.pedantic(
+        run_crossover,
+        kwargs={"client_counts": (100, 200, 300, 400, 500, 600),
+                "duration": 240.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report)
+    assert "crossover" in report
+
+
+def test_crossover_direction_matches_paper():
+    points = {
+        p.clients: p
+        for p in sweep_crossover(client_counts=(300, 500), duration=240.0)
+    }
+    # Paper: native wins at 300.
+    assert not points[300].declarative_wins
+    # Paper: declarative wins at 500.
+    assert points[500].declarative_wins

@@ -1,0 +1,23 @@
+"""E10 — SLA tiers and adaptive consistency (Section 5 directions)."""
+
+from repro.bench.sla_adaptive import run_adaptive_bench, run_sla_bench
+
+from benchmarks.conftest import emit
+
+
+def test_sla_report(benchmark):
+    report = benchmark.pedantic(
+        run_sla_bench, kwargs={"clients": 40, "duration": 5.0},
+        rounds=1, iterations=1,
+    )
+    emit(report)
+    assert "premium" in report and "sla(ss2pl)" in report
+
+
+def test_adaptive_report(benchmark):
+    report = benchmark.pedantic(
+        run_adaptive_bench, kwargs={"clients": 60, "duration": 5.0},
+        rounds=1, iterations=1,
+    )
+    emit(report)
+    assert "adaptive" in report and "read-committed" in report

@@ -1,0 +1,16 @@
+"""E1 — regenerate the paper's Table 1 (related-approach capabilities)."""
+
+from repro.bench.table1 import run_table1, table1_mismatches
+
+from benchmarks.conftest import emit
+
+
+def test_table1_regeneration(benchmark):
+    report = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit(report)
+    assert "EQMS" in report and "QShuffler" in report
+    assert "Declarative scheduler (this work)" in report
+
+
+def test_table1_matches_published_vectors():
+    assert table1_mismatches() == []

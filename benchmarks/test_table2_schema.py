@@ -1,0 +1,12 @@
+"""E2 — regenerate the paper's Table 2 (request table schema)."""
+
+from repro.bench.table2 import run_table2
+
+from benchmarks.conftest import emit
+
+
+def test_table2_regeneration(benchmark):
+    report = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit(report)
+    assert "INTRATA" in report
+    assert "match the paper's Table 2 exactly" in report

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Write your own scheduling protocol — in Datalog or SDL.
+
+The paper's thesis is that new protocols should be *rules*, not code.
+This example defines a custom protocol two ways and runs both:
+
+1. raw Datalog: "exclusive writer" — at most one transaction may have
+   uncommitted writes at a time, reads are free (a crude but valid
+   single-writer consistency model);
+2. SDL: the same SS2PL the paper spends 40+ SQL lines on, in 4 lines.
+
+Run:  python examples/datalog_playground.py
+"""
+
+from repro import DeclarativeScheduler, SDLProtocol, SDL_SS2PL, make_transaction
+from repro.datalog import Database, Program, evaluate
+from repro.model.request import Request
+from repro.protocols.base import Protocol, ProtocolDecision
+
+EXCLUSIVE_WRITER_RULES = """\
+finished(Ta) :- history(_, Ta, _, "c", _).
+finished(Ta) :- history(_, Ta, _, "a", _).
+writer(Ta) :- history(_, Ta, _, "w", _), not finished(Ta).
+otherwriter(Ta) :- writer(Ta2), requests(_, Ta, _, _, _), Ta != Ta2.
+denied(Id) :- requests(Id, Ta, _, "w", _), otherwriter(Ta).
+denied(Id2) :- requests(Id2, Ta2, _, "w", _), requests(_, Ta1, _, "w", _),
+               Ta2 > Ta1.
+qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj), not denied(Id).
+"""
+
+
+class ExclusiveWriterProtocol(Protocol):
+    """At most one transaction with uncommitted writes, system-wide."""
+
+    name = "exclusive-writer"
+    description = "single-writer consistency in 8 Datalog rules"
+    declarative_source = EXCLUSIVE_WRITER_RULES
+
+    def __init__(self) -> None:
+        self._program = Program.parse(EXCLUSIVE_WRITER_RULES)
+
+    def schedule(self, requests, history) -> ProtocolDecision:
+        db = Database()
+        db.add_facts("requests", requests.rows)
+        db.add_facts("history", history.rows)
+        evaluate(self._program, db)
+        return ProtocolDecision(
+            qualified=[Request.from_row(r) for r in sorted(db.facts("qualified"))]
+        )
+
+
+def drive(protocol: Protocol) -> None:
+    print(f"--- {protocol.name}: {protocol.description}")
+    scheduler = DeclarativeScheduler(protocol)
+    # Two open writers on different objects plus one open reader —
+    # clients submit their commits later, like real sessions.
+    for txn in (
+        make_transaction(1, [("w", 1)], terminate="", start_id=1),
+        make_transaction(2, [("w", 2)], terminate="", start_id=11),
+        make_transaction(3, [("r", 1)], terminate="", start_id=21),
+    ):
+        for request in txn:
+            scheduler.submit(request)
+
+    def step(label: str) -> None:
+        batch = scheduler.step().qualified
+        print(f"  {label}: " + (" ".join(map(str, batch)) or "(all blocked)"))
+
+    step("burst submitted ")
+    # T1 commits; whatever waited on it can go next round.
+    for request in make_transaction(1, [], terminate="c", start_id=31):
+        scheduler.submit(request)
+    step("after c1 queued ")
+    step("after c1 applied")
+    print()
+
+
+def main() -> None:
+    drive(ExclusiveWriterProtocol())
+    # Under exclusive-writer, w1 and w2 cannot be in flight together —
+    # unlike SS2PL, where they can (different objects):
+    drive(SDLProtocol(SDL_SS2PL))
+    print("same scheduler component, two consistency models, zero "
+          "imperative scheduling code.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation end-to-end (scaled-down).
+
+Runs every table/figure of the paper with reduced parameters so the
+whole script finishes in about a minute; the benchmark suite
+(``pytest benchmarks/ --benchmark-only``) runs the full-scale versions.
+
+Run:  python examples/paper_experiments.py
+"""
+
+from repro.bench import (
+    run_crossover,
+    run_declarative_overhead,
+    run_figure2,
+    run_table1,
+    run_table2,
+)
+
+
+def main() -> None:
+    print("=" * 78)
+    print("E1 / Table 1")
+    print("=" * 78)
+    print(run_table1())
+
+    print()
+    print("=" * 78)
+    print("E2 / Table 2")
+    print("=" * 78)
+    print(run_table2())
+
+    print()
+    print("=" * 78)
+    print("E3-E4 / Figure 2 + Section 4.2.2 (scaled: 5 client counts)")
+    print("=" * 78)
+    print(run_figure2(client_counts=(1, 100, 300, 500, 600), duration=240.0))
+
+    print()
+    print("=" * 78)
+    print("E5 / Section 4.3.2 declarative overhead")
+    print("=" * 78)
+    print(run_declarative_overhead(client_counts=(300, 500), repetitions=2))
+
+    print()
+    print("=" * 78)
+    print("E6 / Section 4.4 crossover")
+    print("=" * 78)
+    print(run_crossover(client_counts=(300, 400, 500), duration=240.0))
+
+
+if __name__ == "__main__":
+    main()

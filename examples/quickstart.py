@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule transactions declaratively and verify correctness.
+
+Builds the paper's Figure 1 stack in a few lines: transactions are
+submitted to the middleware scheduler, the SS2PL protocol (the paper's
+Listing 1) decides set-at-a-time which requests may execute, and the
+emitted schedule is checked serializable and strict with the textbook
+analyzers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DeclarativeScheduler,
+    Schedule,
+    SS2PLRelalgProtocol,
+    is_conflict_serializable,
+    is_strict,
+    make_transaction,
+)
+
+
+def main() -> None:
+    scheduler = DeclarativeScheduler(SS2PLRelalgProtocol())
+
+    # Three transactions; T1 and T2 conflict on object 10, T3 is disjoint.
+    t1 = make_transaction(1, [("r", 10), ("w", 10)], start_id=1)
+    t2 = make_transaction(2, [("w", 10), ("w", 20)], start_id=101)
+    t3 = make_transaction(3, [("r", 30), ("w", 31)], start_id=201)
+
+    for transaction in (t1, t2, t3):
+        for request in transaction:
+            scheduler.submit(request)
+
+    emitted = Schedule()
+    print("scheduler steps (SS2PL, set-at-a-time):")
+    for step_number in range(1, 10):
+        if len(scheduler.incoming) == 0 and len(scheduler.pending) == 0:
+            break
+        result = scheduler.step(now=float(step_number))
+        emitted.extend(result.qualified)
+        batch = " ".join(str(r) for r in result.qualified) or "(blocked)"
+        print(
+            f"  step {step_number}: qualified {result.batch_size:2d} "
+            f"requests | {batch}"
+        )
+
+    print(f"\nfull emitted schedule: {emitted}")
+    print(f"conflict serializable: {is_conflict_serializable(emitted)}")
+    print(f"strict (SS2PL):        {is_strict(emitted)}")
+    assert is_conflict_serializable(emitted) and is_strict(emitted)
+
+    # T2's write on object 10 had to wait for T1's commit:
+    positions = {str(r): i for i, r in enumerate(emitted)}
+    assert positions["w2[10]"] > positions["c1"], "w2[10] ran before c1!"
+    print("\nw2[10] correctly waited for c1 — locks were honoured "
+          "without any lock manager: just a query over request data.")
+
+
+if __name__ == "__main__":
+    main()

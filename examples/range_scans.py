@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Beyond the paper's prototype: range statements + explainable denials.
+
+Section 5 of the paper says "different workloads with more complex
+statements have to be analyzed", citing key-range locking [17].  This
+example schedules *range* statements (each touching a key interval)
+with the range-SS2PL rule set — two comparisons more than Listing 1 —
+and then asks the Datalog engine to *explain* a denial, turning the
+declarative rules into an audit trail.
+
+Run:  python examples/range_scans.py
+"""
+
+from repro.datalog import Database, Program, evaluate, explain
+from repro.ext.ranges import (
+    RANGE_SS2PL_RULES,
+    RangeRequest,
+    RangeSS2PLProtocol,
+    make_range_tables,
+)
+from repro.model.request import Operation
+
+
+def main() -> None:
+    requests, history = make_range_tables()
+
+    # T1 is mid-flight: it has updated the key range [100, 199].
+    history.insert(
+        RangeRequest(1, 1, 0, Operation.WRITE, 100, 199).as_row()
+    )
+
+    # Three new range statements arrive concurrently.
+    scan_overlapping = RangeRequest(2, 2, 0, Operation.READ, 150, 250)
+    scan_disjoint = RangeRequest(3, 3, 0, Operation.READ, 200, 300)
+    update_disjoint = RangeRequest(4, 4, 0, Operation.WRITE, 0, 99)
+    for request in (scan_overlapping, scan_disjoint, update_disjoint):
+        requests.insert(request.as_row())
+
+    protocol = RangeSS2PLProtocol()
+    decision = protocol.schedule(requests, history)
+    print("qualified:", ", ".join(str(r) for r in decision.qualified))
+    print("denied   :", sorted(decision.denials))
+    assert sorted(r.id for r in decision.qualified) == [3, 4]
+    assert set(decision.denials) == {2}
+
+    # Why was the overlapping scan denied?  Ask the engine.
+    program = Program.parse(RANGE_SS2PL_RULES)
+    db = Database()
+    db.add_facts("requests", requests.rows)
+    db.add_facts("history", history.rows)
+    evaluate(program, db)
+    print("\nwhy was request 2 denied?\n")
+    print(explain(program, db, "denied", (2,)).format())
+    print(
+        "\nthe denial traces to T1's uncommitted write lock on "
+        "[100, 199] overlapping the scan's [150, 250] — straight from "
+        "the rules, no scheduler code to read."
+    )
+
+
+if __name__ == "__main__":
+    main()

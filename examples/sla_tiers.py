@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""SLA tiers: premium vs free customers, declaratively.
+
+The paper motivates declarative scheduling with SLAs ("premium vs. free
+customers in Web applications", Section 1).  This example runs the
+closed-loop middleware with a 20/80 premium/free population twice —
+plain SS2PL, then SS2PL wrapped in the SLA ordering layer — and prints
+per-tier response times.
+
+Run:  python examples/sla_tiers.py
+"""
+
+from repro import (
+    HybridTrigger,
+    MiddlewareSimulation,
+    SLAOrderingProtocol,
+    SS2PLRelalgProtocol,
+    WorkloadSpec,
+)
+from repro.workload.clients import ClientPopulation, SLA_TIERS
+
+
+def run(label, protocol, population, clients=40, duration=5.0):
+    simulation = MiddlewareSimulation(
+        protocol=protocol,
+        trigger=HybridTrigger(0.02, 20),
+        spec=WorkloadSpec(reads_per_txn=4, writes_per_txn=4, table_rows=2_000),
+        clients=clients,
+        seed=9,
+        attrs_for_client=population.attributes_for,
+    )
+    result = simulation.run(duration)
+    print(
+        f"{label:24s} throughput={result.throughput:7.1f} stmt/s  "
+        f"premium={result.mean_response('premium') * 1000:7.2f} ms  "
+        f"free={result.mean_response('free') * 1000:7.2f} ms"
+    )
+    return result
+
+
+def main() -> None:
+    population = ClientPopulation(SLA_TIERS)
+    print(f"population of 40 clients: {population.counts(40)}\n")
+
+    base = run("ss2pl (no SLA layer)", SS2PLRelalgProtocol(), population)
+    sla = run(
+        "sla(ss2pl)", SLAOrderingProtocol(SS2PLRelalgProtocol()), population
+    )
+
+    improvement = (
+        base.mean_response("premium") - sla.mean_response("premium")
+    ) / base.mean_response("premium") * 100
+    print(
+        f"\npremium response time improved by {improvement:.0f}% — one "
+        "wrapper object, zero scheduler rewrites."
+    )
+
+
+if __name__ == "__main__":
+    main()

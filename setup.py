@@ -1,0 +1,6 @@
+"""Setup shim: allows legacy `python setup.py develop` installs in
+offline environments lacking the `wheel` package (pip's PEP 517 editable
+path needs bdist_wheel).  Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

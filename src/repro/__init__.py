@@ -1,0 +1,106 @@
+"""repro — Declarative Scheduling in Highly Scalable Systems.
+
+A complete reproduction of Tilgner's EDBT 2010 workshop paper: a
+middleware scheduler programmed with declarative rules, where pending
+and historical requests are data and scheduling protocols are queries.
+
+Quickstart
+----------
+>>> from repro import DeclarativeScheduler, SS2PLRelalgProtocol, make_transaction
+>>> scheduler = DeclarativeScheduler(SS2PLRelalgProtocol())
+>>> for request in make_transaction(1, [("r", 10), ("w", 10)], start_id=1):
+...     scheduler.submit(request)
+>>> batch = scheduler.step().qualified
+>>> [str(r) for r in batch]
+['r1[10]', 'w1[10]', 'c1']
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the middleware scheduler (Figure 1)
+- :mod:`repro.protocols` — declarative protocols (SS2PL/Listing 1, 2PL
+  variants, SLA, relaxed, application-specific, adaptive)
+- :mod:`repro.relalg` / :mod:`repro.datalog` / :mod:`repro.lang` /
+  :mod:`repro.sqlbridge` — the four declarative backends
+- :mod:`repro.server` — the simulated DBMS with its native scheduler
+- :mod:`repro.workload`, :mod:`repro.sim`, :mod:`repro.metrics` —
+  workloads, virtual time, measurement
+- :mod:`repro.bench` — one experiment module per paper table/figure
+"""
+
+from repro.model import (
+    Operation,
+    Request,
+    RequestAttributes,
+    Schedule,
+    Transaction,
+    is_conflict_serializable,
+    is_strict,
+    make_transaction,
+)
+from repro.core import (
+    DeclarativeScheduler,
+    FillLevelTrigger,
+    HybridTrigger,
+    MiddlewareSimulation,
+    PassthroughScheduler,
+    SchedulerConfig,
+    TimeLapseTrigger,
+)
+from repro.protocols import (
+    AdaptiveConsistencyProtocol,
+    BoundedOversellProtocol,
+    ConservativeTwoPLProtocol,
+    EarliestDeadlineFirstProtocol,
+    FCFSProtocol,
+    PaperListing1Protocol,
+    Protocol,
+    ReadCommittedProtocol,
+    SLAOrderingProtocol,
+    SS2PLDatalogProtocol,
+    SS2PLRelalgProtocol,
+    SS2PLSqlProtocol,
+)
+from repro.lang import SDLProtocol, SDL_SS2PL, SDL_READ_COMMITTED
+from repro.server import BatchServer, CostModel, SimulatedDBMS
+from repro.workload import PAPER_WORKLOAD, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Operation",
+    "Request",
+    "RequestAttributes",
+    "Schedule",
+    "Transaction",
+    "is_conflict_serializable",
+    "is_strict",
+    "make_transaction",
+    "DeclarativeScheduler",
+    "PassthroughScheduler",
+    "SchedulerConfig",
+    "TimeLapseTrigger",
+    "FillLevelTrigger",
+    "HybridTrigger",
+    "MiddlewareSimulation",
+    "Protocol",
+    "PaperListing1Protocol",
+    "SS2PLRelalgProtocol",
+    "SS2PLDatalogProtocol",
+    "SS2PLSqlProtocol",
+    "ConservativeTwoPLProtocol",
+    "FCFSProtocol",
+    "SLAOrderingProtocol",
+    "EarliestDeadlineFirstProtocol",
+    "ReadCommittedProtocol",
+    "BoundedOversellProtocol",
+    "AdaptiveConsistencyProtocol",
+    "SDLProtocol",
+    "SDL_SS2PL",
+    "SDL_READ_COMMITTED",
+    "SimulatedDBMS",
+    "BatchServer",
+    "CostModel",
+    "WorkloadSpec",
+    "PAPER_WORKLOAD",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Imperative baselines and the related-approach catalogue (Table 1).
+
+Two kinds of comparators live here:
+
+* :mod:`repro.baselines.imperative` — a hand-coded, lock-table-based
+  SS2PL middleware scheduler.  It computes the same qualified sets as
+  the declarative formulations (asserted by tests) but is written the
+  way the paper says the state of the art writes schedulers: imperative
+  one-request-at-a-time code.  It doubles as the imperative arm of the
+  productivity comparison (E9) and as a performance comparator (E8).
+* :mod:`repro.baselines.related` — executable sketches of the seven
+  related approaches of the paper's Table 1 (EQMS, Ganymed, WLMS,
+  C-JDBC, GP, WebQoS, QShuffler), each exposing the scheduling policy
+  that defines it plus its capability vector.  Table 1 is regenerated
+  from these vectors (bench E1) rather than hard-coded prose.
+"""
+
+from repro.baselines.imperative import ImperativeSS2PLScheduler
+from repro.baselines.related import (
+    RELATED_APPROACHES,
+    RelatedApproach,
+    table1_rows,
+)
+
+__all__ = [
+    "ImperativeSS2PLScheduler",
+    "RELATED_APPROACHES",
+    "RelatedApproach",
+    "table1_rows",
+]

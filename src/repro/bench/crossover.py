@@ -1,0 +1,111 @@
+"""E6 — Section 4.4: where declarative beats the native scheduler.
+
+The paper's discussion composes its two measurements: at 300 clients
+the native overhead (46 s) beats the declarative total (1314 s); at 500
+clients declarative (106 s) beats native (225 s).  This bench runs both
+sides over a client sweep on *the same workloads* and reports the
+crossover point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.declarative_overhead import measure_scheduler_run
+from repro.bench.figure2 import sweep_native
+from repro.metrics.reporting import ComparisonRow, render_comparison, render_table
+
+
+@dataclass(frozen=True, slots=True)
+class CrossoverPoint:
+    clients: int
+    workload_statements: int
+    native_overhead_s: float
+    declarative_total_s: float
+
+    @property
+    def declarative_wins(self) -> bool:
+        return self.declarative_total_s < self.native_overhead_s
+
+
+def sweep_crossover(
+    client_counts: Sequence[int] = (100, 200, 300, 400, 500, 600),
+    duration: float = 240.0,
+    repetitions: int = 3,
+) -> list[CrossoverPoint]:
+    """Both sides of Section 4.4 over a client sweep."""
+    native_points = {p.clients: p for p in sweep_native(client_counts, duration)}
+    out: list[CrossoverPoint] = []
+    for clients in client_counts:
+        native = native_points[clients]
+        declarative = measure_scheduler_run(clients, repetitions=repetitions)
+        statements = native.committed_statements
+        out.append(
+            CrossoverPoint(
+                clients=clients,
+                workload_statements=statements,
+                native_overhead_s=native.mu_seconds - native.su_seconds,
+                declarative_total_s=declarative.total_overhead(statements),
+            )
+        )
+    return out
+
+
+def run_crossover(
+    client_counts: Sequence[int] = (100, 200, 300, 400, 500, 600),
+    duration: float = 240.0,
+) -> str:
+    points = sweep_crossover(client_counts, duration)
+    rows = [
+        (
+            p.clients,
+            p.workload_statements,
+            round(p.native_overhead_s, 1),
+            round(p.declarative_total_s, 1),
+            "declarative" if p.declarative_wins else "native",
+        )
+        for p in points
+    ]
+    table = render_table(
+        ["clients", "workload stmts", "native overhead (s)",
+         "declarative total (s)", "winner"],
+        rows,
+        title="Section 4.4: scheduling-overhead crossover",
+    )
+
+    crossover = next(
+        (p.clients for p in points if p.declarative_wins), None
+    )
+    comparison = render_comparison(
+        [
+            ComparisonRow(
+                "winner @ 300 clients",
+                "native (46s vs 1314s)",
+                _winner_text(points, 300),
+            ),
+            ComparisonRow(
+                "winner @ 500 clients",
+                "declarative (106s vs 225s)",
+                _winner_text(points, 500),
+            ),
+            ComparisonRow(
+                "crossover client count",
+                "between 300 and 500",
+                crossover if crossover is not None else "none observed",
+            ),
+        ],
+        title="Section 4.4 qualitative claims (paper vs measured)",
+    )
+    return "\n\n".join([table, comparison])
+
+
+def _winner_text(points: list[CrossoverPoint], clients: int) -> str:
+    for p in points:
+        if p.clients == clients:
+            side = "declarative" if p.declarative_wins else "native"
+            return (
+                f"{side} ({p.declarative_total_s:.0f}s declarative vs "
+                f"{p.native_overhead_s:.0f}s native)"
+            )
+    return "not measured"

@@ -1,0 +1,129 @@
+"""E3/E4 — Figure 2 and the Section 4.2.2 anchors.
+
+Method (paper Section 4.1/4.2): run the multi-user workload under
+isolation level serializable for a fixed window at each client count;
+replay the committed statement sequence in single-user mode; plot
+MU time / SU time as a percentage (log y-axis), and report the
+300-/500-client anchor numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.reporting import AsciiPlot, ComparisonRow, render_comparison, render_table
+from repro.server.costmodel import CostModel, PAPER_CALIBRATION
+from repro.server.engine import MultiUserResult, SimulatedDBMS
+from repro.workload.spec import PAPER_WORKLOAD, WorkloadSpec
+
+#: Client counts matching Figure 2's x-axis sampling.
+DEFAULT_CLIENT_COUNTS = (1, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600)
+
+#: The paper's Section 4.2.2 anchor numbers.
+PAPER_ANCHORS = {
+    300: {"statements": 550_055, "su_seconds": 194.0, "overhead": 46.0},
+    500: {"statements": 48_267, "su_seconds": 15.0, "overhead": 225.0},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Figure2Point:
+    clients: int
+    committed_statements: int
+    mu_seconds: float
+    su_seconds: float
+    ratio_percent: float
+    deadlock_aborts: int
+
+
+def sweep_native(
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    duration: float = 240.0,
+    spec: WorkloadSpec = PAPER_WORKLOAD,
+    cost_model: CostModel = PAPER_CALIBRATION,
+    seed: int = 42,
+) -> list[Figure2Point]:
+    """Run the MU sweep and SU replays; returns one point per count."""
+    dbms = SimulatedDBMS(spec, cost_model=cost_model, seed=seed)
+    points = []
+    for clients in client_counts:
+        result: MultiUserResult = dbms.run_multi_user(clients, duration)
+        points.append(
+            Figure2Point(
+                clients=clients,
+                committed_statements=result.committed_statements,
+                mu_seconds=duration,
+                su_seconds=result.su_replay_time,
+                ratio_percent=result.mu_over_su_percent,
+                deadlock_aborts=result.deadlock_aborts,
+            )
+        )
+    return points
+
+
+def run_figure2(
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    duration: float = 240.0,
+) -> str:
+    """Full E3/E4 report: data table, ASCII Figure 2, anchor comparison."""
+    points = sweep_native(client_counts, duration)
+
+    data_table = render_table(
+        ["clients", "committed stmts", "MU (s)", "SU replay (s)",
+         "MU/SU (%)", "deadlock aborts"],
+        [
+            (
+                p.clients,
+                p.committed_statements,
+                round(p.mu_seconds, 1),
+                round(p.su_seconds, 1),
+                round(p.ratio_percent, 1),
+                p.deadlock_aborts,
+            )
+            for p in points
+        ],
+        title="Figure 2 data: multi-user vs single-user execution time",
+    )
+
+    plot = AsciiPlot(
+        log_y=True,
+        title=(
+            "Figure 2: execution time MU / execution time SU (%), log scale "
+            "(paper: flat ~100-125% to 300 clients, then sharp rise)"
+        ),
+        x_label="number of clients",
+    )
+    plot.add_series("*", [(p.clients, max(p.ratio_percent, 100.0)) for p in points])
+
+    comparisons: list[ComparisonRow] = []
+    by_clients = {p.clients: p for p in points}
+    for clients, anchors in PAPER_ANCHORS.items():
+        point = by_clients.get(clients)
+        if point is None:
+            continue
+        comparisons.append(
+            ComparisonRow(
+                f"committed statements in {point.mu_seconds:.0f}s @ {clients} clients",
+                anchors["statements"],
+                point.committed_statements,
+            )
+        )
+        comparisons.append(
+            ComparisonRow(
+                f"SU replay time @ {clients} clients (s)",
+                anchors["su_seconds"],
+                round(point.su_seconds, 1),
+            )
+        )
+        comparisons.append(
+            ComparisonRow(
+                f"native scheduling overhead @ {clients} clients (s)",
+                anchors["overhead"],
+                round(point.mu_seconds - point.su_seconds, 1),
+            )
+        )
+    anchor_table = render_comparison(
+        comparisons, title="Section 4.2.2 anchors (paper vs measured)"
+    )
+    return "\n\n".join([data_table, plot.render(), anchor_table])

@@ -1,0 +1,40 @@
+"""E1 — regenerate the paper's Table 1 from implemented capabilities."""
+
+from __future__ import annotations
+
+from repro.baselines.related import PAPER_TABLE1, RELATED_APPROACHES, table1_rows
+from repro.metrics.reporting import render_table
+
+
+def run_table1() -> str:
+    """Render Table 1 and check each implemented vector against the
+    paper's published row."""
+    rows = table1_rows(include_ours=True)
+    table = render_table(
+        ["Approach", "P", "QoS", "D", "F", "HS"],
+        rows,
+        title=(
+            "Table 1: Related Approaches (P-Performance, QoS-Quality of "
+            "Service,\nD-Declarativity, F-Flexibility, HS-High Scalability)"
+        ),
+    )
+    mismatches = table1_mismatches()
+    footer = (
+        "\nall capability vectors match the paper's published Table 1"
+        if not mismatches
+        else "\nMISMATCHES vs paper: " + "; ".join(mismatches)
+    )
+    return table + footer
+
+
+def table1_mismatches() -> list[str]:
+    """Compare implemented capability vectors with the published table."""
+    mismatches = []
+    for approach in RELATED_APPROACHES:
+        expected = PAPER_TABLE1[approach.name]
+        actual = approach.capabilities.as_row()
+        if actual != expected:
+            mismatches.append(
+                f"{approach.name}: paper {expected} vs implemented {actual}"
+            )
+    return mismatches

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                 # experiments and protocols
+    python -m repro run E1 [E2 ...]      # regenerate paper artefacts
+    python -m repro run all --quick      # everything, scaled down
+    python -m repro demo                 # the quickstart scenario
+    python -m repro sql "SELECT ..."     # ad-hoc SQL over demo tables
+
+Every experiment id maps to the corresponding ``repro.bench.run_*``
+function; ``--quick`` substitutes scaled-down parameters so the whole
+suite finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.bench import (
+    run_adaptive_bench,
+    run_crossover,
+    run_declarative_overhead,
+    run_figure2,
+    run_incremental_ablation,
+    run_language_ablation,
+    run_mpl_ablation,
+    run_productivity,
+    run_sla_bench,
+    run_table1,
+    run_table2,
+    run_trigger_ablation,
+)
+from repro.protocols.base import PROTOCOL_REGISTRY
+
+#: experiment id -> (description, full-scale runner, quick runner).
+EXPERIMENTS: Dict[str, tuple[str, Callable[[], str], Callable[[], str]]] = {
+    "E1": (
+        "Table 1: related-approach feature matrix",
+        run_table1,
+        run_table1,
+    ),
+    "E2": (
+        "Table 2: request/history/rte schema",
+        run_table2,
+        run_table2,
+    ),
+    "E3": (
+        "Figure 2: MU/SU ratio vs clients (native scheduler)",
+        lambda: run_figure2(duration=240.0),
+        lambda: run_figure2(client_counts=(1, 300, 500), duration=240.0),
+    ),
+    "E5": (
+        "Section 4.3.2: declarative scheduling overhead",
+        lambda: run_declarative_overhead(),
+        lambda: run_declarative_overhead(client_counts=(300, 500), repetitions=1),
+    ),
+    "E6": (
+        "Section 4.4: native-vs-declarative crossover",
+        lambda: run_crossover(),
+        lambda: run_crossover(client_counts=(300, 500), duration=240.0),
+    ),
+    "E7": (
+        "Ablation: trigger policies",
+        lambda: run_trigger_ablation(),
+        lambda: run_trigger_ablation(clients=20, duration=2.0),
+    ),
+    "E8": (
+        "Ablation: declarative language backends",
+        lambda: run_language_ablation(),
+        lambda: run_language_ablation(client_counts=(300,), repetitions=1),
+    ),
+    "E9": (
+        "Productivity: declarative vs imperative spec size",
+        run_productivity,
+        run_productivity,
+    ),
+    "E10": (
+        "SLA tiers + adaptive consistency",
+        lambda: run_sla_bench() + "\n\n" + run_adaptive_bench(),
+        lambda: run_sla_bench(clients=20, duration=2.0)
+        + "\n\n"
+        + run_adaptive_bench(clients=30, duration=2.0),
+    ),
+    "E11": (
+        "Ablation: incremental view maintenance",
+        lambda: run_incremental_ablation(),
+        lambda: run_incremental_ablation(clients=80, steps=10),
+    ),
+    "E12": (
+        "Ablation: external MPL admission control",
+        lambda: run_mpl_ablation(),
+        lambda: run_mpl_ablation(duration=60.0, caps=(None, 300)),
+    ),
+}
+
+
+def _experiment_order(key: str) -> int:
+    return int(key.lstrip("E"))
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for key in sorted(EXPERIMENTS, key=_experiment_order):
+        description = EXPERIMENTS[key][0]
+        print(f"  {key:4s} {description}")
+    print("\nregistered protocols:")
+    for name in sorted(PROTOCOL_REGISTRY):
+        protocol = PROTOCOL_REGISTRY[name]()
+        print(f"  {name:20s} {protocol.description}")
+    return 0
+
+
+def _cmd_run(ids: Sequence[str], quick: bool) -> int:
+    wanted = list(ids)
+    if len(wanted) == 1 and wanted[0].lower() == "all":
+        wanted = sorted(EXPERIMENTS, key=_experiment_order)
+    unknown = [i for i in wanted if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    for experiment_id in wanted:
+        description, full, fast = EXPERIMENTS[experiment_id]
+        print("=" * 78)
+        print(f"{experiment_id} — {description}")
+        print("=" * 78)
+        runner = fast if quick else full
+        print(runner())
+        print()
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro import (
+        DeclarativeScheduler,
+        Schedule,
+        SS2PLRelalgProtocol,
+        is_conflict_serializable,
+        is_strict,
+        make_transaction,
+    )
+
+    scheduler = DeclarativeScheduler(SS2PLRelalgProtocol())
+    for txn in (
+        make_transaction(1, [("r", 10), ("w", 10)], start_id=1),
+        make_transaction(2, [("w", 10), ("w", 20)], start_id=100),
+        make_transaction(3, [("r", 30)], start_id=200),
+    ):
+        for request in txn:
+            scheduler.submit(request)
+    emitted = Schedule()
+    step = 0
+    while len(scheduler.incoming) or len(scheduler.pending):
+        step += 1
+        batch = scheduler.step(now=float(step)).qualified
+        emitted.extend(batch)
+        print(f"step {step}: {' '.join(map(str, batch)) or '(blocked)'}")
+    print(f"\nschedule: {emitted}")
+    print(f"conflict serializable: {is_conflict_serializable(emitted)}")
+    print(f"strict:                {is_strict(emitted)}")
+    return 0
+
+
+def _cmd_sql(query: str) -> int:
+    from repro.bench.declarative_overhead import paper_snapshot
+    from repro.core.stores import HistoryStore, PendingStore
+    from repro.relalg.sql import SqlError, execute_sql
+
+    incoming, history = paper_snapshot(20)
+    pending_store = PendingStore()
+    history_store = HistoryStore()
+    pending_store.insert_batch(incoming)
+    history_store.record_batch(history)
+    try:
+        relation = execute_sql(
+            query,
+            {"requests": pending_store.table, "history": history_store.table},
+        )
+    except SqlError as error:
+        print(f"SQL error: {error}", file=sys.stderr)
+        return 1
+    print("  ".join(c.qualified_name for c in relation.schema))
+    for row in relation.rows[:50]:
+        print("  ".join(str(v) for v in row))
+    if len(relation) > 50:
+        print(f"... {len(relation) - 50} more rows")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative Scheduling in Highly Scalable Systems — "
+        "reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list experiments and protocols")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids or 'all'")
+    run_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down parameters"
+    )
+    subparsers.add_parser("demo", help="run the quickstart scenario")
+    sql_parser = subparsers.add_parser(
+        "sql", help="run ad-hoc SQL over a demo requests/history instance"
+    )
+    sql_parser.add_argument("query")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.ids, args.quick)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "sql":
+        return _cmd_sql(args.query)
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

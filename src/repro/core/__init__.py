@@ -1,0 +1,53 @@
+"""The declarative middleware scheduler — the paper's Figure 1.
+
+Clients connect to the scheduler, not the server.  Incoming requests
+are buffered in an **incoming queue**; a configurable **trigger**
+(Section 3.3: "a lapse of time, a certain fill level of the incoming
+queue or a hybrid version") periodically fires a scheduler step that
+
+1. empties the incoming queue into the **pending-request table** as a
+   batch job,
+2. runs the configured declarative **protocol** over the pending and
+   **history** tables,
+3. moves qualified requests from pending to history, and
+4. dispatches them to the **server** as a batch, routing results back.
+
+A **non-scheduling passthrough mode** forwards requests unscheduled so
+the pure declarative-scheduling overhead is measurable, exactly as the
+paper plans (Section 3.3, last paragraph).
+"""
+
+from repro.core.queue import IncomingQueue
+from repro.core.stores import HistoryStore, PendingStore, REQUEST_COLUMNS
+from repro.core.triggers import (
+    FillLevelTrigger,
+    HybridTrigger,
+    TimeLapseTrigger,
+    TriggerPolicy,
+)
+from repro.core.scheduler import (
+    DeclarativeScheduler,
+    SchedulerConfig,
+    SchedulerCostModel,
+    SchedulerStepResult,
+)
+from repro.core.simulation import MiddlewareSimulation, MiddlewareResult
+from repro.core.passthrough import PassthroughScheduler
+
+__all__ = [
+    "IncomingQueue",
+    "PendingStore",
+    "HistoryStore",
+    "REQUEST_COLUMNS",
+    "TriggerPolicy",
+    "TimeLapseTrigger",
+    "FillLevelTrigger",
+    "HybridTrigger",
+    "DeclarativeScheduler",
+    "SchedulerConfig",
+    "SchedulerCostModel",
+    "SchedulerStepResult",
+    "MiddlewareSimulation",
+    "MiddlewareResult",
+    "PassthroughScheduler",
+]

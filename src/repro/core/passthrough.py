@@ -1,0 +1,50 @@
+"""Non-scheduling passthrough mode.
+
+Paper Section 3.3: "To be able to measure the real declarative
+scheduling overhead, we will design the scheduler to be able to run in
+a non-scheduling mode.  In this mode, the scheduler forwards the
+requests to the server without scheduling."  The passthrough scheduler
+shares the :class:`~repro.core.scheduler.DeclarativeScheduler` step
+interface so harnesses can swap it in without code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.queue import IncomingQueue
+from repro.core.scheduler import SchedulerStepResult
+from repro.metrics.collector import MetricsCollector
+from repro.model.request import Request
+
+
+class PassthroughScheduler:
+    """Forwards every buffered request immediately, in arrival order."""
+
+    def __init__(self, metrics: Optional[MetricsCollector] = None) -> None:
+        self.incoming = IncomingQueue()
+        self.metrics = metrics
+        self.steps_run = 0
+        self.total_query_seconds = 0.0
+
+    def submit(self, request: Request, now: float = 0.0) -> None:
+        self.incoming.enqueue(request, now)
+
+    def should_run(self, now: float) -> bool:
+        return len(self.incoming) > 0
+
+    def step(self, now: float = 0.0) -> SchedulerStepResult:
+        batch = self.incoming.drain()
+        self.steps_run += 1
+        if self.metrics is not None:
+            self.metrics.incr("scheduler.steps")
+            self.metrics.incr("scheduler.qualified", len(batch))
+        return SchedulerStepResult(
+            now=now,
+            drained=len(batch),
+            pending_before=len(batch),
+            pending_after=0,
+            history_rows=0,
+            qualified=batch,
+            query_seconds=0.0,
+        )

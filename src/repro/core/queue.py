@@ -1,0 +1,41 @@
+"""The incoming queue buffering requests between client workers and the
+scheduler step (paper Section 3.3, step 1)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.model.request import Request
+
+
+class IncomingQueue:
+    """FIFO buffer of newly arrived requests with arrival timestamps."""
+
+    def __init__(self) -> None:
+        self._queue: deque[tuple[float, Request]] = deque()
+        self.total_enqueued = 0
+
+    def enqueue(self, request: Request, now: float = 0.0) -> None:
+        self._queue.append((now, request))
+        self.total_enqueued += 1
+
+    def drain(self) -> list[Request]:
+        """Empty the queue, returning requests in arrival order — the
+        paper's "empties the incoming queue and moves all requests into
+        the pending request database as a batch job"."""
+        batch = [request for __, request in self._queue]
+        self._queue.clear()
+        return batch
+
+    @property
+    def oldest_arrival(self) -> Optional[float]:
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Request]:
+        return (request for __, request in self._queue)

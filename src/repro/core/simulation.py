@@ -1,0 +1,339 @@
+"""Closed-loop virtual-time simulation of the full middleware stack.
+
+This is the multi-user test bed the paper plans for its evaluation
+(Section 3.4): N clients connect to the declarative scheduler, each
+submitting one request at a time and waiting for its result; the
+scheduler batches, runs its protocol, and dispatches qualified batches
+to a :class:`~repro.server.engine.BatchServer` whose own scheduling is
+bypassed.  Time is virtual (deterministic); the scheduler's own query
+cost is charged via :class:`~repro.core.scheduler.SchedulerCostModel`.
+
+Because a blocked request just stays in the pending table, two
+transactions can block each other (the set-at-a-time analogue of a
+deadlock).  The paper's Listing 1 does not address this; the middleware
+resolves it with a timeout: a transaction whose request has been
+pending longer than ``deadlock_timeout`` is aborted (an ``a`` request
+is synthesized into history, releasing its locks) and its client starts
+a fresh transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.scheduler import (
+    DeclarativeScheduler,
+    SchedulerConfig,
+    SchedulerCostModel,
+)
+from repro.core.triggers import TriggerPolicy
+from repro.model.request import (
+    NO_OBJECT,
+    Operation,
+    Request,
+    RequestAttributes,
+)
+from repro.protocols.base import Protocol
+from repro.server.costmodel import CostModel, PAPER_CALIBRATION
+from repro.server.engine import BatchServer
+from repro.sim.simulator import Simulator
+from repro.workload.generator import TransactionFactory
+from repro.workload.spec import WorkloadSpec
+from repro.workload.traces import Trace
+
+
+@dataclass
+class MiddlewareResult:
+    """Outcome of one closed-loop middleware run."""
+
+    clients: int
+    duration: float
+    completed_statements: int = 0
+    committed_transactions: int = 0
+    timeout_aborts: int = 0
+    scheduler_runs: int = 0
+    scheduler_cost: float = 0.0
+    server_busy: float = 0.0
+    batch_sizes: list[int] = field(default_factory=list)
+    #: Per-SLA-class response-time samples (seconds).
+    response_times: dict[str, list[float]] = field(default_factory=dict)
+    #: Dispatched-request log (dispatch order), when recording was on.
+    trace: Optional["Trace"] = None
+
+    @property
+    def throughput(self) -> float:
+        return self.completed_statements / self.duration if self.duration else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def mean_response(self, sla_class: Optional[str] = None) -> float:
+        if sla_class is None:
+            samples = [s for v in self.response_times.values() for s in v]
+        else:
+            samples = self.response_times.get(sla_class, [])
+        return sum(samples) / len(samples) if samples else 0.0
+
+
+class _SimClient:
+    """One closed-loop client: transaction iterator + outstanding state."""
+
+    __slots__ = ("index", "factory", "attrs", "ta", "statements", "position")
+
+    def __init__(self, index: int, factory: TransactionFactory, attrs) -> None:
+        self.index = index
+        self.factory = factory
+        self.attrs = attrs
+        self.ta = -1
+        self.statements = []
+        self.position = 0
+
+
+class MiddlewareSimulation:
+    """Virtual-time closed-loop run of clients → scheduler → server."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        trigger: TriggerPolicy,
+        spec: WorkloadSpec,
+        clients: int,
+        seed: int = 0,
+        cost_model: CostModel = PAPER_CALIBRATION,
+        scheduler_cost: SchedulerCostModel = SchedulerCostModel(),
+        deadlock_timeout: float = 0.5,
+        attrs_for_client=None,
+        scheduler_config: SchedulerConfig = SchedulerConfig(),
+        record_trace: bool = False,
+    ) -> None:
+        if clients <= 0:
+            raise ValueError("clients must be positive")
+        self.protocol = protocol
+        self.trigger = trigger
+        self.spec = spec
+        self.clients = clients
+        self.seed = seed
+        self.cost_model = cost_model
+        self.scheduler_cost = scheduler_cost
+        self.deadlock_timeout = deadlock_timeout
+        self.attrs_for_client = attrs_for_client
+        self.scheduler_config = scheduler_config
+        self.record_trace = record_trace
+
+    def run(self, duration: float) -> MiddlewareResult:
+        sim = Simulator()
+        rng = random.Random(self.seed)
+        scheduler = DeclarativeScheduler(
+            self.protocol, trigger=self.trigger, config=self.scheduler_config
+        )
+        server = BatchServer(self.cost_model)
+        result = MiddlewareResult(clients=self.clients, duration=duration)
+        if self.record_trace:
+            result.trace = Trace()
+        ta_counter = itertools.count(1)
+        id_counter = itertools.count(1)
+        submit_times: dict[int, float] = {}
+        first_pending_since: dict[int, float] = {}  # ta -> first submit time
+        client_of_ta: dict[int, _SimClient] = {}
+        end = duration
+
+        clients = []
+        for index in range(self.clients):
+            attrs = (
+                self.attrs_for_client(index)
+                if self.attrs_for_client is not None
+                else RequestAttributes(client_id=index)
+            )
+            factory = TransactionFactory(
+                self.spec, random.Random(rng.randrange(2**63))
+            )
+            clients.append(_SimClient(index, factory, attrs))
+
+        def begin_transaction(client: _SimClient) -> None:
+            client.ta = next(ta_counter)
+            client.statements = client.factory.next_profile()
+            client.position = 0
+            client_of_ta[client.ta] = client
+            submit_next(client)
+
+        def submit_next(client: _SimClient) -> None:
+            if sim.now >= end:
+                return
+            if client.position < len(client.statements):
+                stmt = client.statements[client.position]
+                request = Request(
+                    id=next(id_counter),
+                    ta=client.ta,
+                    intrata=client.position,
+                    operation=stmt.operation,
+                    obj=stmt.obj,
+                    attrs=client.attrs,
+                )
+            else:
+                request = Request(
+                    id=next(id_counter),
+                    ta=client.ta,
+                    intrata=client.position,
+                    operation=Operation.COMMIT,
+                    obj=NO_OBJECT,
+                    attrs=client.attrs,
+                )
+            scheduler.submit(request, sim.now)
+            submit_times[request.id] = sim.now
+            first_pending_since.setdefault(client.ta, sim.now)
+            arm_trigger()
+
+        step_event = None
+        step_event_time = float("inf")
+
+        def schedule_step_at(at_time: float) -> None:
+            """Schedule (or pull earlier) the next scheduler step."""
+            nonlocal step_event, step_event_time
+            at_time = max(at_time, sim.now)
+            if at_time > end:
+                return
+            if step_event is not None and step_event_time <= at_time:
+                return
+            if step_event is not None:
+                sim.cancel(step_event)
+            step_event_time = at_time
+            step_event = sim.schedule_at(at_time, run_step)
+
+        def arm_trigger() -> None:
+            if sim.now >= end:
+                return
+            if self.trigger.should_fire(scheduler.incoming, sim.now):
+                schedule_step_at(sim.now)
+                return
+            next_check = self.trigger.next_check(sim.now)
+            if next_check is not None:
+                schedule_step_at(next_check)
+            elif len(scheduler.incoming):
+                # Purely fill-driven triggers can starve when fewer than
+                # `threshold` clients remain unblocked; a watchdog step
+                # after the deadlock timeout bounds that starvation
+                # (and lets timed-out transactions be aborted).
+                schedule_step_at(sim.now + self.deadlock_timeout)
+
+        def run_step() -> None:
+            nonlocal step_event, step_event_time
+            step_event = None
+            step_event_time = float("inf")
+            if sim.now >= end:
+                return
+            step = scheduler.step(sim.now)
+            result.scheduler_runs += 1
+            cost = self.scheduler_cost.step_cost(
+                step.pending_before, step.history_rows
+            )
+            result.scheduler_cost += cost
+            batch = step.qualified
+            if batch:
+                if result.trace is not None:
+                    for request in batch:
+                        result.trace.record(sim.now, request)
+                result.batch_sizes.append(len(batch))
+                service = server.execute_batch(batch)
+                result.server_busy += service
+                # Statements within a batch execute sequentially on the
+                # server; each request's result returns as it completes,
+                # so batch *order* (SLA protocols) affects latency.
+                offset = sim.now + cost + self.cost_model.batch_fixed_cost
+                for request in batch:
+                    if request.operation.is_data_access:
+                        offset += self.cost_model.statement_cost
+                    if offset <= end:
+                        sim.schedule_at(
+                            offset, lambda r=request: request_done(r)
+                        )
+            handle_timeouts()
+            if len(scheduler.pending) or len(scheduler.incoming):
+                if batch:
+                    # Progress was made: continue at the trigger's pace.
+                    arm_trigger()
+                else:
+                    # No progress: the blocked requests need a commit that
+                    # is still in flight (its batch completion will re-arm
+                    # us) — but re-check on a timeout slice regardless so
+                    # deadlocked transactions eventually get aborted.
+                    delay = max(self.deadlock_timeout / 4, 1e-4)
+                    schedule_step_at(sim.now + delay)
+
+        def request_done(request: Request) -> None:
+            started = submit_times.pop(request.id, None)
+            if started is not None:
+                samples = result.response_times.setdefault(
+                    request.attrs.sla_class, []
+                )
+                samples.append(sim.now - started)
+            if request.operation.is_data_access:
+                result.completed_statements += 1
+            client = client_of_ta.get(request.ta)
+            if client is None:
+                return
+            first_pending_since.pop(request.ta, None)
+            if request.operation is Operation.COMMIT:
+                result.committed_transactions += 1
+                del client_of_ta[request.ta]
+                begin_transaction(client)
+            else:
+                client.position += 1
+                submit_next(client)
+
+        def handle_timeouts() -> None:
+            doomed: list[int] = []
+            for ta, since in first_pending_since.items():
+                if sim.now - since > self.deadlock_timeout:
+                    doomed.append(ta)
+            for ta in doomed:
+                abort_transaction(ta)
+
+        def abort_transaction(ta: int) -> None:
+            client = client_of_ta.pop(ta, None)
+            first_pending_since.pop(ta, None)
+            # Remove the transaction's pending request(s) and record an
+            # abort so held (logical) locks are released.
+            ta_pos = scheduler.pending.table.schema.resolve("ta")
+            id_pos = scheduler.pending.table.schema.resolve("id")
+            doomed_ids = [
+                row[id_pos]
+                for row in scheduler.pending.table.rows
+                if row[ta_pos] == ta
+            ]
+            scheduler.pending.table.delete_where(lambda row: row[ta_pos] == ta)
+            for request_id in doomed_ids:
+                submit_times.pop(request_id, None)
+                scheduler.pending.table.attrs_by_id.pop(request_id, None)
+            abort = Request(
+                id=next(id_counter),
+                ta=ta,
+                intrata=0,
+                operation=Operation.ABORT,
+                obj=NO_OBJECT,
+            )
+            scheduler.history.record_batch([abort])
+            scheduler.protocol.observe_executed([abort])
+            if scheduler.config.prune_history:
+                pruned = scheduler.history.finished_transactions
+                scheduler.history.prune_finished()
+                if pruned:
+                    scheduler.protocol.observe_pruned(pruned)
+            if result.trace is not None:
+                result.trace.record(sim.now, abort)
+            result.timeout_aborts += 1
+            if client is not None and sim.now < end:
+                sim.schedule(
+                    self.cost_model.restart_delay,
+                    lambda c=client: begin_transaction(c),
+                )
+
+        for client in clients:
+            begin_transaction(client)
+        sim.run_until(end)
+        return result

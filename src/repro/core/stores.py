@@ -1,0 +1,137 @@
+"""Pending-request and history stores on relational tables.
+
+Both stores use the paper's Table 2 schema.  Because the Table 2 row
+carries only scheduling-relevant columns, the stores keep the request
+side-car attributes (client, SLA class, deadline) in an ``attrs_by_id``
+map exposed on the table object, so SLA protocols can re-hydrate
+qualified rows into full :class:`~repro.model.request.Request` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.model.request import Request, RequestAttributes, TransactionStatus
+from repro.relalg.table import Table
+
+#: The paper's Table 2 columns.
+REQUEST_COLUMNS = ("id", "ta", "intrata", "operation", "object")
+
+
+def _new_table(name: str) -> Table:
+    table = Table(name, list(REQUEST_COLUMNS))
+    table.attrs_by_id = {}  # type: ignore[attr-defined]
+    return table
+
+
+class PendingStore:
+    """The pending-request database."""
+
+    def __init__(self) -> None:
+        self.table = _new_table("requests")
+        self.table.create_index("ta")
+
+    def insert_batch(self, requests: Iterable[Request]) -> int:
+        count = 0
+        for request in requests:
+            self.table.insert(request.as_row())
+            self.table.attrs_by_id[request.id] = request.attrs
+            count += 1
+        return count
+
+    def remove(self, requests: Iterable[Request]) -> int:
+        rows = [r.as_row() for r in requests]
+        removed = self.table.delete_rows(rows)
+        for request in requests:
+            self.table.attrs_by_id.pop(request.id, None)
+        return removed
+
+    def attrs_of(self, request_id: int) -> RequestAttributes:
+        return self.table.attrs_by_id.get(request_id, RequestAttributes())
+
+    def rehydrate(self, request: Request) -> Request:
+        """Re-attach side-car attributes to a request reconstructed from
+        a Table 2 row."""
+        attrs = self.table.attrs_by_id.get(request.id)
+        if attrs is None:
+            return request
+        import dataclasses
+
+        return dataclasses.replace(request, attrs=attrs)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class HistoryStore:
+    """The history database of relevant prior executed requests.
+
+    Tracks transaction status incrementally so pruning (dropping rows of
+    finished transactions — the paper keeps only "relevant" requests)
+    is a single pass.
+    """
+
+    def __init__(self) -> None:
+        self.table = _new_table("history")
+        self.table.create_index("ta")
+        self.table.create_index("object")
+        self._status: dict[int, TransactionStatus] = {}
+        self.total_recorded = 0
+
+    def record_batch(self, requests: Iterable[Request]) -> int:
+        count = 0
+        for request in requests:
+            self.table.insert(request.as_row())
+            self.table.attrs_by_id[request.id] = request.attrs
+            self._status.setdefault(request.ta, TransactionStatus.ACTIVE)
+            if request.is_commit:
+                self._status[request.ta] = TransactionStatus.COMMITTED
+            elif request.is_abort:
+                self._status[request.ta] = TransactionStatus.ABORTED
+            count += 1
+        self.total_recorded += count
+        return count
+
+    def status(self, ta: int) -> TransactionStatus:
+        return self._status.get(ta, TransactionStatus.ACTIVE)
+
+    @property
+    def active_transactions(self) -> set[int]:
+        return {
+            ta
+            for ta, status in self._status.items()
+            if status is TransactionStatus.ACTIVE
+        }
+
+    @property
+    def finished_transactions(self) -> set[int]:
+        """Committed/aborted transactions not yet pruned."""
+        return {
+            ta
+            for ta, status in self._status.items()
+            if status is not TransactionStatus.ACTIVE
+        }
+
+    def prune_finished(self) -> int:
+        """Drop rows of committed/aborted transactions."""
+        finished = {
+            ta
+            for ta, status in self._status.items()
+            if status is not TransactionStatus.ACTIVE
+        }
+        if not finished:
+            return 0
+        ta_pos = self.table.schema.resolve("ta")
+        id_pos = self.table.schema.resolve("id")
+        doomed_ids = [
+            row[id_pos] for row in self.table.rows if row[ta_pos] in finished
+        ]
+        removed = self.table.delete_where(lambda row: row[ta_pos] in finished)
+        for request_id in doomed_ids:
+            self.table.attrs_by_id.pop(request_id, None)
+        for ta in finished:
+            del self._status[ta]
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.table)

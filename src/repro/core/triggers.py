@@ -1,0 +1,98 @@
+"""Scheduler trigger policies.
+
+Paper Section 3.3: "Periodically, the scheduler gets triggered ...  The
+trigger condition can be configured (dynamically).  The best condition
+has to be evaluated experimentally.  Possible conditions are, e.g. a
+lapse of time, a certain fill level of the incoming queue or a hybrid
+version."  All three are implemented here; benchmark E7 runs the
+evaluation the paper defers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.queue import IncomingQueue
+
+
+class TriggerPolicy(abc.ABC):
+    """Decides, given queue state and the clock, whether to run a step."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def should_fire(self, queue: IncomingQueue, now: float) -> bool:
+        """True when the scheduler should run a step now."""
+
+    @abc.abstractmethod
+    def next_check(self, now: float) -> Optional[float]:
+        """Earliest future time worth re-evaluating at, or None when the
+        policy is purely event-driven (fires on enqueue checks only)."""
+
+    def notify_fired(self, now: float) -> None:
+        """Hook invoked after a scheduler step ran."""
+
+
+class TimeLapseTrigger(TriggerPolicy):
+    """Fire every *interval* seconds (if anything is queued)."""
+
+    def __init__(self, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._last_fire = 0.0
+        self.name = f"time({interval:g}s)"
+
+    def should_fire(self, queue: IncomingQueue, now: float) -> bool:
+        return len(queue) > 0 and now - self._last_fire >= self.interval
+
+    def next_check(self, now: float) -> Optional[float]:
+        return self._last_fire + self.interval
+
+    def notify_fired(self, now: float) -> None:
+        self._last_fire = now
+
+
+class FillLevelTrigger(TriggerPolicy):
+    """Fire when the incoming queue reaches *threshold* requests."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.name = f"fill({threshold})"
+
+    def should_fire(self, queue: IncomingQueue, now: float) -> bool:
+        return len(queue) >= self.threshold
+
+    def next_check(self, now: float) -> Optional[float]:
+        return None  # purely enqueue-driven
+
+
+class HybridTrigger(TriggerPolicy):
+    """Fire on fill level, but at the latest after a time lapse —
+    batching efficiency under load, bounded latency when idle."""
+
+    def __init__(self, interval: float, threshold: int) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.interval = interval
+        self.threshold = threshold
+        self._last_fire = 0.0
+        self.name = f"hybrid({interval:g}s|{threshold})"
+
+    def should_fire(self, queue: IncomingQueue, now: float) -> bool:
+        if not len(queue):
+            return False
+        if len(queue) >= self.threshold:
+            return True
+        return now - self._last_fire >= self.interval
+
+    def next_check(self, now: float) -> Optional[float]:
+        return self._last_fire + self.interval
+
+    def notify_fired(self, now: float) -> None:
+        self._last_fire = now

@@ -1,0 +1,49 @@
+"""A from-scratch Datalog engine.
+
+The paper's future-work section (Section 5) calls for "a suitable
+declarative scheduler language which is more succinct than SQL"; its
+research objective 4 is to "design a specialized language and system".
+Datalog is the natural candidate (rules over relations, recursion,
+stratified negation) and the calibration hint for this reproduction
+points at it explicitly.  This package implements:
+
+* the term/atom/rule AST (:mod:`repro.datalog.ast`),
+* a lexer and recursive-descent parser for conventional Datalog syntax
+  (:mod:`repro.datalog.parser`) — ``head(X) :- body(X, Y), not bad(Y),
+  X > Y.`` — with strings, numbers, comments, comparisons and head
+  aggregates,
+* safety validation and stratification for negation/aggregation
+  (:mod:`repro.datalog.program`), and
+* semi-naive bottom-up evaluation (:mod:`repro.datalog.engine`).
+
+Scheduling protocols written in Datalog live in
+:mod:`repro.protocols`; they evaluate against extensional relations
+(``requests``, ``history``) loaded from the scheduler's stores.
+"""
+
+from repro.datalog.ast import Aggregate, Atom, Comparison, Const, Literal, Rule, Var
+from repro.datalog.parser import parse_program, parse_rule, DatalogSyntaxError
+from repro.datalog.program import Program, SafetyError, StratificationError
+from repro.datalog.engine import Database, evaluate
+from repro.datalog.explain import Derivation, ExplainError, explain
+
+__all__ = [
+    "Aggregate",
+    "Atom",
+    "Comparison",
+    "Const",
+    "Literal",
+    "Rule",
+    "Var",
+    "parse_program",
+    "parse_rule",
+    "DatalogSyntaxError",
+    "Program",
+    "SafetyError",
+    "StratificationError",
+    "Database",
+    "evaluate",
+    "Derivation",
+    "ExplainError",
+    "explain",
+]

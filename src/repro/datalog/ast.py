@@ -1,0 +1,173 @@
+"""Datalog abstract syntax: terms, atoms, literals, rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A logic variable.  The anonymous variable ``_`` unifies with
+    anything and never binds (each occurrence is independent)."""
+
+    name: str
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.name == "_"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant term (int, float, str or bool)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """A head aggregate like ``count(X)`` / ``min(X)``.
+
+    Only allowed in rule heads; the remaining head variables act as the
+    GROUP BY key.
+    """
+
+    fn: str  # count | sum | min | max
+    var: Var
+
+    def __str__(self) -> str:
+        return f"{self.fn}({self.var})"
+
+
+Term = Union[Var, Const]
+HeadTerm = Union[Var, Const, Aggregate]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """``pred(t1, ..., tn)``.  Head atoms may carry aggregates."""
+
+    pred: str
+    terms: tuple
+
+    def __init__(self, pred: str, terms: Sequence) -> None:
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def variables(self) -> set[Var]:
+        return {
+            t for t in self.terms if isinstance(t, Var) and not t.is_anonymous
+        }
+
+    @property
+    def aggregates(self) -> list[Aggregate]:
+        return [t for t in self.terms if isinstance(t, Aggregate)]
+
+    def __str__(self) -> str:
+        return f"{self.pred}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A possibly-negated body atom."""
+
+    atom: Atom
+    negated: bool = False
+
+    @property
+    def variables(self) -> set[Var]:
+        return self.atom.variables
+
+    def __str__(self) -> str:
+        return f"not {self.atom}" if self.negated else str(self.atom)
+
+
+#: Comparison operators usable in rule bodies.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """An infix comparison between two terms, e.g. ``X > Y`` or
+    ``Op = "w"``.  Both sides must be bound by positive literals (or be
+    constants) by the time the comparison is checked."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    @property
+    def variables(self) -> set[Var]:
+        out = set()
+        for side in (self.left, self.right):
+            if isinstance(side, Var) and not side.is_anonymous:
+                out.add(side)
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+BodyItem = Union[Literal, Comparison]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """``head :- body.``  A rule with an empty body is a fact."""
+
+    head: Atom
+    body: tuple
+
+    def __init__(self, head: Atom, body: Sequence = ()) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    @property
+    def positive_literals(self) -> list[Literal]:
+        return [
+            item
+            for item in self.body
+            if isinstance(item, Literal) and not item.negated
+        ]
+
+    @property
+    def negative_literals(self) -> list[Literal]:
+        return [
+            item for item in self.body if isinstance(item, Literal) and item.negated
+        ]
+
+    @property
+    def comparisons(self) -> list[Comparison]:
+        return [item for item in self.body if isinstance(item, Comparison)]
+
+    @property
+    def has_aggregates(self) -> bool:
+        return bool(self.head.aggregates)
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        body = ", ".join(str(item) for item in self.body)
+        return f"{self.head} :- {body}."

@@ -1,0 +1,395 @@
+"""Semi-naive bottom-up evaluation of stratified Datalog programs.
+
+The evaluator processes one stratum at a time.  Within a stratum,
+non-recursive derivations seed the relation and the semi-naive delta
+loop adds tuples until fixpoint; negated literals and aggregates only
+ever consult strata already complete, which stratification guarantees.
+
+Rule bodies are evaluated by a greedy binder: at each step the next body
+item whose variables are ready is applied — positive literals extend the
+binding set (via per-predicate hash indexes on the bound positions),
+comparisons and negations filter it.  Safety validation guarantees this
+always terminates with every item applied.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.datalog.ast import (
+    Aggregate,
+    Atom,
+    Comparison,
+    Const,
+    Literal,
+    Rule,
+    Var,
+)
+from repro.datalog.program import Program
+
+_CMP_FUNCS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+Binding = dict[Var, object]
+
+
+class Database:
+    """Extensional + derived fact storage: predicate -> set of tuples.
+
+    Facts are plain Python tuples; predicates are namespaced only by
+    name.  Hash indexes over arbitrary position subsets are built lazily
+    and invalidated on mutation.
+    """
+
+    def __init__(self) -> None:
+        self._facts: dict[str, set[tuple]] = {}
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict] = {}
+        self._versions: dict[str, int] = {}
+
+    def add_fact(self, pred: str, fact: Sequence) -> bool:
+        """Insert one fact; returns True if it was new."""
+        store = self._facts.setdefault(pred, set())
+        tup = tuple(fact)
+        if tup in store:
+            return False
+        store.add(tup)
+        self._versions[pred] = self._versions.get(pred, 0) + 1
+        return True
+
+    def add_facts(self, pred: str, facts: Iterable[Sequence]) -> int:
+        added = 0
+        for fact in facts:
+            if self.add_fact(pred, fact):
+                added += 1
+        return added
+
+    def facts(self, pred: str) -> set[tuple]:
+        return self._facts.get(pred, set())
+
+    def predicates(self) -> list[str]:
+        return sorted(self._facts)
+
+    def remove_predicate(self, pred: str) -> None:
+        self._facts.pop(pred, None)
+        self._versions[pred] = self._versions.get(pred, 0) + 1
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for pred, facts in self._facts.items():
+            clone._facts[pred] = set(facts)
+        return clone
+
+    def index(self, pred: str, positions: tuple[int, ...]) -> dict:
+        """Hash index mapping value-tuples at *positions* to fact lists."""
+        key = (pred, positions)
+        cached = self._indexes.get(key)
+        version = self._versions.get(pred, 0)
+        if cached is not None and cached.get("__version__") == version:
+            return cached["buckets"]
+        buckets: dict[tuple, list[tuple]] = {}
+        for fact in self._facts.get(pred, ()):
+            buckets.setdefault(tuple(fact[p] for p in positions), []).append(fact)
+        self._indexes[key] = {"__version__": version, "buckets": buckets}
+        return buckets
+
+    def __contains__(self, item: tuple[str, tuple]) -> bool:
+        pred, fact = item
+        return tuple(fact) in self._facts.get(pred, set())
+
+
+def _match_literal(
+    atom: Atom,
+    binding: Binding,
+    db: Database,
+    delta: Optional[set[tuple]] = None,
+) -> Iterator[Binding]:
+    """Yield extended bindings for each fact matching *atom*.
+
+    When *delta* is given, match against that fact set instead of the
+    database (semi-naive evaluation)."""
+    bound_positions: list[int] = []
+    bound_values: list[object] = []
+    free_positions: list[tuple[int, Var]] = []
+    checks: list[tuple[int, int]] = []  # repeated-variable equality checks
+    seen_vars: dict[Var, int] = {}
+    for pos, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            bound_positions.append(pos)
+            bound_values.append(term.value)
+        elif isinstance(term, Var):
+            if term.is_anonymous:
+                continue
+            if term in binding:
+                bound_positions.append(pos)
+                bound_values.append(binding[term])
+            elif term in seen_vars:
+                checks.append((seen_vars[term], pos))
+            else:
+                seen_vars[term] = pos
+                free_positions.append((pos, term))
+        else:  # pragma: no cover - parser prevents aggregates in bodies
+            raise TypeError(f"unexpected body term {term!r}")
+
+    if delta is not None:
+        candidates: Iterable[tuple] = delta
+        if bound_positions:
+            key = tuple(bound_values)
+            candidates = [
+                fact
+                for fact in delta
+                if tuple(fact[p] for p in bound_positions) == key
+            ]
+    elif bound_positions:
+        candidates = db.index(atom.pred, tuple(bound_positions)).get(
+            tuple(bound_values), ()
+        )
+    else:
+        candidates = db.facts(atom.pred)
+
+    for fact in candidates:
+        if len(fact) != atom.arity:
+            continue
+        if any(fact[a] != fact[b] for a, b in checks):
+            continue
+        extended = dict(binding)
+        for pos, var in free_positions:
+            extended[var] = fact[pos]
+        yield extended
+
+
+def _term_value(term, binding: Binding):
+    if isinstance(term, Const):
+        return term.value
+    return binding[term]
+
+
+def _check_comparison(comparison: Comparison, binding: Binding) -> bool:
+    left = _term_value(comparison.left, binding)
+    right = _term_value(comparison.right, binding)
+    try:
+        return _CMP_FUNCS[comparison.op](left, right)
+    except TypeError:
+        # Mixed-type ordering comparisons are false rather than fatal —
+        # mirrors the relalg engine's None-propagating comparisons.
+        return False
+
+
+def _check_negation(literal: Literal, binding: Binding, db: Database) -> bool:
+    """True when the negated literal has NO matching fact."""
+    for __ in _match_literal(literal.atom, binding, db):
+        return False
+    return True
+
+
+def _solve_body(
+    rule: Rule,
+    db: Database,
+    delta_pred: Optional[str] = None,
+    delta: Optional[set[tuple]] = None,
+    initial: Optional[Binding] = None,
+) -> Iterator[Binding]:
+    """Yield all bindings satisfying the rule body.
+
+    When *delta_pred* is set, exactly one positive occurrence of that
+    predicate is bound to the delta set — the caller iterates over which
+    occurrence (standard semi-naive rewriting).  *initial* seeds the
+    binding (used by the provenance explainer to constrain body
+    solutions to a given head fact).
+    """
+    items = list(rule.body)
+    seed: Binding = dict(initial) if initial else {}
+
+    def extend(binding: Binding, remaining: list, delta_used: bool) -> Iterator[Binding]:
+        if not remaining:
+            if delta_pred is None or delta_used:
+                yield binding
+            return
+        # Greedily pick the next applicable item: a positive literal, or a
+        # filter whose variables are all bound.
+        for index, item in enumerate(remaining):
+            if isinstance(item, Literal) and not item.negated:
+                rest = remaining[:index] + remaining[index + 1 :]
+                use_delta = (
+                    delta_pred is not None
+                    and not delta_used
+                    and item.atom.pred == delta_pred
+                )
+                if use_delta:
+                    # Branch: this occurrence from delta, or full relation
+                    # with delta consumed by a later occurrence.
+                    for ext in _match_literal(item.atom, binding, db, delta):
+                        yield from extend(ext, rest, True)
+                    later = any(
+                        isinstance(o, Literal)
+                        and not o.negated
+                        and o.atom.pred == delta_pred
+                        for o in rest
+                    )
+                    if later:
+                        for ext in _match_literal(item.atom, binding, db):
+                            yield from extend(ext, rest, False)
+                    return
+                for ext in _match_literal(item.atom, binding, db):
+                    yield from extend(ext, rest, delta_used)
+                return
+            if isinstance(item, Comparison) and item.variables <= binding.keys():
+                rest = remaining[:index] + remaining[index + 1 :]
+                if _check_comparison(item, binding):
+                    yield from extend(binding, rest, delta_used)
+                return
+            if (
+                isinstance(item, Literal)
+                and item.negated
+                and item.variables <= binding.keys()
+            ):
+                rest = remaining[:index] + remaining[index + 1 :]
+                if _check_negation(item, binding, db):
+                    yield from extend(binding, rest, delta_used)
+                return
+        # Only filters with unbound variables remain — impossible for safe
+        # rules once all positive literals are consumed.
+        raise RuntimeError(
+            f"rule {rule} has unprocessable body items {remaining}; "
+            "was safety checked?"
+        )
+
+    yield from extend(seed, items, False)
+
+
+def _head_tuple(head: Atom, binding: Binding) -> tuple:
+    values = []
+    for term in head.terms:
+        if isinstance(term, Const):
+            values.append(term.value)
+        elif isinstance(term, Var):
+            values.append(binding[term])
+        else:  # pragma: no cover
+            raise TypeError(f"aggregate in non-aggregate head: {term}")
+    return tuple(values)
+
+
+def _evaluate_aggregate_rule(rule: Rule, db: Database) -> set[tuple]:
+    """Evaluate an aggregate-head rule over the completed lower strata.
+
+    Aggregates use set semantics: per group, the function ranges over the
+    *distinct* values the aggregated variable takes in body solutions.
+    """
+    head_terms = rule.head.terms
+    group_positions = [
+        i for i, t in enumerate(head_terms) if not isinstance(t, Aggregate)
+    ]
+    agg_positions = [
+        (i, t) for i, t in enumerate(head_terms) if isinstance(t, Aggregate)
+    ]
+    groups: dict[tuple, list[set]] = {}
+    for binding in _solve_body(rule, db):
+        key = tuple(
+            _term_value(head_terms[i], binding) for i in group_positions
+        )
+        value_sets = groups.setdefault(key, [set() for __ in agg_positions])
+        for slot, (__, agg) in enumerate(agg_positions):
+            value_sets[slot].add(binding[agg.var])
+
+    results: set[tuple] = set()
+    for key, value_sets in groups.items():
+        row: list = []
+        key_iter = iter(key)
+        set_iter = iter(value_sets)
+        for term in head_terms:
+            if isinstance(term, Aggregate):
+                values = next(set_iter)
+                row.append(_apply_aggregate(term.fn, values))
+            else:
+                row.append(next(key_iter))
+        results.add(tuple(row))
+    return results
+
+
+def _apply_aggregate(fn: str, values: set):
+    if fn == "count":
+        return len(values)
+    if fn == "sum":
+        return sum(values)
+    if fn == "min":
+        return min(values)
+    if fn == "max":
+        return max(values)
+    raise ValueError(f"unknown aggregate {fn!r}")  # pragma: no cover
+
+
+def evaluate(program: Program, db: Database) -> Database:
+    """Evaluate *program* against *db* in place (and return it).
+
+    Derived predicates accumulate into the same database, so extensional
+    facts for IDB predicates (if any) join the derivation seamlessly.
+    """
+    for stratum in program.strata:
+        rules = program.rules_for(stratum)
+        plain = [r for r in rules if not r.has_aggregates]
+        aggregating = [r for r in rules if r.has_aggregates]
+
+        # Aggregate rules depend only on lower strata (enforced by the
+        # stratifier), so a single pass suffices — run them first so
+        # same-stratum plain rules can consume their output.
+        for rule in aggregating:
+            db.add_facts(rule.head.pred, _evaluate_aggregate_rule(rule, db))
+
+        # Seed: full evaluation of every plain rule once.  Derived facts
+        # are buffered and inserted after the bindings are drained — the
+        # binder iterates live fact sets, which must not grow mid-scan.
+        delta: dict[str, set[tuple]] = {pred: set() for pred in stratum}
+        for rule in plain:
+            derived = [
+                _head_tuple(rule.head, binding)
+                for binding in _solve_body(rule, db)
+            ]
+            for fact in derived:
+                if db.add_fact(rule.head.pred, fact):
+                    delta[rule.head.pred].add(fact)
+
+        # Semi-naive loop: re-fire only rules referencing changed preds.
+        recursive = [
+            rule
+            for rule in plain
+            if any(
+                lit.atom.pred in stratum for lit in rule.positive_literals
+            )
+        ]
+        while any(delta.values()):
+            new_delta: dict[str, set[tuple]] = {pred: set() for pred in stratum}
+            for rule in recursive:
+                body_preds = {
+                    lit.atom.pred for lit in rule.positive_literals
+                }
+                for pred in body_preds & set(stratum):
+                    if not delta.get(pred):
+                        continue
+                    derived = [
+                        _head_tuple(rule.head, binding)
+                        for binding in _solve_body(
+                            rule, db, delta_pred=pred, delta=delta[pred]
+                        )
+                    ]
+                    for fact in derived:
+                        if db.add_fact(rule.head.pred, fact):
+                            new_delta[rule.head.pred].add(fact)
+            delta = new_delta
+    return db
+
+
+def query(
+    program: Program, db: Database, pred: str, arity: Optional[int] = None
+) -> set[tuple]:
+    """Evaluate and return the facts of one predicate."""
+    evaluate(program, db)
+    facts = db.facts(pred)
+    if arity is not None:
+        return {f for f in facts if len(f) == arity}
+    return set(facts)

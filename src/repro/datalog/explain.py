@@ -1,0 +1,236 @@
+"""Derivation explanations (why-provenance) for derived facts.
+
+Scheduling decisions should be auditable: when the declarative
+scheduler denies a request, "because ``denied(17)`` is derivable" is
+not an answer an operator can act on.  :func:`explain` reconstructs one
+derivation tree for a derived fact — the rule that produced it, the
+ground body facts it used (recursively explained), and the negated
+facts whose *absence* it relied on.
+
+The database must already be evaluated (the explainer searches existing
+facts; it never derives new ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datalog.ast import Aggregate, Atom, Comparison, Const, Literal, Rule, Var
+from repro.datalog.engine import Binding, Database, _solve_body, _term_value
+from repro.datalog.program import Program
+
+
+@dataclass
+class Derivation:
+    """One node of a derivation tree."""
+
+    pred: str
+    fact: tuple
+    #: The rule that derived the fact; None for extensional facts.
+    rule: Optional[Rule] = None
+    #: Recursively explained positive body facts.
+    children: list["Derivation"] = field(default_factory=list)
+    #: Ground negated atoms whose absence the rule relied on.
+    absent: list[str] = field(default_factory=list)
+    #: Satisfied ground comparisons.
+    checks: list[str] = field(default_factory=list)
+
+    @property
+    def is_extensional(self) -> bool:
+        return self.rule is None
+
+    def format(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        head = f"{pad}{self.pred}{self.fact}"
+        if self.is_extensional:
+            return head + "   [given]"
+        lines = [head + f"   [via: {self.rule}]"]
+        for check in self.checks:
+            lines.append(f"{pad}  ✓ {check}")
+        for note in self.absent:
+            lines.append(f"{pad}  ✓ no fact {note}")
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+class ExplainError(Exception):
+    """The fact is not present / not derivable from the evaluated DB."""
+
+
+def explain(
+    program: Program, db: Database, pred: str, fact: tuple
+) -> Derivation:
+    """Explain one fact of an evaluated database.
+
+    Returns a :class:`Derivation`; raises :class:`ExplainError` when the
+    fact is absent.  For facts with multiple derivations an arbitrary
+    one is returned (the first found in rule order).
+    """
+    fact = tuple(fact)
+    if fact not in db.facts(pred):
+        raise ExplainError(f"{pred}{fact} is not a fact of the database")
+    return _explain(program, db, pred, fact, depth=0)
+
+
+_MAX_DEPTH = 64
+
+
+def _explain(
+    program: Program, db: Database, pred: str, fact: tuple, depth: int
+) -> Derivation:
+    if depth > _MAX_DEPTH:  # pragma: no cover - cyclic EDB/IDB overlap
+        return Derivation(pred=pred, fact=fact)
+    if pred not in program.idb:
+        return Derivation(pred=pred, fact=fact)
+
+    for rule in program.rules_for([pred]):
+        if rule.has_aggregates:
+            derivation = _explain_aggregate(program, db, rule, pred, fact, depth)
+            if derivation is not None:
+                return derivation
+            continue
+        initial = _unify_head(rule.head, fact)
+        if initial is None:
+            continue
+        for binding in _solve_body(rule, db, initial=initial):
+            return _build_node(program, db, rule, pred, fact, binding, depth)
+    # Derived fact with no reconstructable derivation: the fact may have
+    # been inserted extensionally into an IDB predicate.
+    return Derivation(pred=pred, fact=fact)
+
+
+def _build_node(
+    program: Program,
+    db: Database,
+    rule: Rule,
+    pred: str,
+    fact: tuple,
+    binding: Binding,
+    depth: int,
+) -> Derivation:
+    node = Derivation(pred=pred, fact=fact, rule=rule)
+    for literal in rule.positive_literals:
+        ground = _find_matching_fact(literal.atom, binding, db)
+        if ground is None:  # pragma: no cover - binding came from body
+            continue
+        node.children.append(
+            _explain(program, db, literal.atom.pred, ground, depth + 1)
+        )
+    for literal in rule.negative_literals:
+        ground = _ground_atom(literal.atom, binding, partial=True)
+        node.absent.append(f"{literal.atom.pred}{ground}")
+    for comparison in rule.comparisons:
+        left = _term_value(comparison.left, binding)
+        right = _term_value(comparison.right, binding)
+        node.checks.append(f"{left!r} {comparison.op} {right!r}")
+    return node
+
+
+def _explain_aggregate(
+    program: Program,
+    db: Database,
+    rule: Rule,
+    pred: str,
+    fact: tuple,
+    depth: int,
+) -> Optional[Derivation]:
+    """Aggregates: verify the group key matches and cite contributing
+    body solutions (up to a handful) as children."""
+    initial: Binding = {}
+    for term, value in zip(rule.head.terms, fact):
+        if isinstance(term, Aggregate):
+            continue
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        elif isinstance(term, Var) and not term.is_anonymous:
+            if term in initial and initial[term] != value:
+                return None
+            initial[term] = value
+    node = Derivation(pred=pred, fact=fact, rule=rule)
+    contributors = 0
+    for binding in _solve_body(rule, db, initial=initial):
+        for literal in rule.positive_literals:
+            ground = _find_matching_fact(literal.atom, binding, db)
+            if ground is None:  # pragma: no cover
+                continue
+            node.children.append(
+                _explain(program, db, literal.atom.pred, ground, depth + 1)
+            )
+        contributors += 1
+        if contributors >= 3:
+            node.checks.append("... (further contributors elided)")
+            break
+    if contributors == 0:
+        return None
+    return node
+
+
+def _unify_head(head: Atom, fact: tuple) -> Optional[Binding]:
+    if head.arity != len(fact):
+        return None
+    binding: Binding = {}
+    for term, value in zip(head.terms, fact):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        elif isinstance(term, Var):
+            if term.is_anonymous:
+                continue
+            if term in binding and binding[term] != value:
+                return None
+            binding[term] = value
+        else:  # pragma: no cover
+            return None
+    return binding
+
+
+def _find_matching_fact(
+    atom: Atom, binding: Binding, db: Database
+) -> Optional[tuple]:
+    """First stored fact of ``atom.pred`` matching the bound pattern —
+    needed because anonymous variables are not recorded in bindings."""
+    for fact in db.facts(atom.pred):
+        if len(fact) != atom.arity:
+            continue
+        local: Binding = {}
+        matched = True
+        for term, value in zip(atom.terms, fact):
+            if isinstance(term, Const):
+                matched = term.value == value
+            elif isinstance(term, Var):
+                if term.is_anonymous:
+                    continue
+                if term in binding:
+                    matched = binding[term] == value
+                elif term in local:
+                    matched = local[term] == value
+                else:
+                    local[term] = value
+            if not matched:
+                break
+        if matched:
+            return fact
+    return None
+
+
+def _ground_atom(atom: Atom, binding: Binding, partial: bool = False) -> tuple:
+    values = []
+    for term in atom.terms:
+        if isinstance(term, Const):
+            values.append(term.value)
+        elif isinstance(term, Var):
+            if term.is_anonymous or term not in binding:
+                if partial:
+                    values.append("_")
+                    continue
+                raise ExplainError(
+                    f"unbound variable {term} grounding {atom}"
+                )
+            values.append(binding[term])
+    return tuple(values)

@@ -1,0 +1,238 @@
+"""Lexer and recursive-descent parser for Datalog programs.
+
+Grammar (conventional Datalog with comparisons and head aggregates)::
+
+    program     := (rule)*
+    rule        := atom ( ":-" body )? "."
+    body        := body_item ("," body_item)*
+    body_item   := "not" atom | atom | comparison
+    comparison  := term cmp_op term
+    atom        := IDENT "(" head_term ("," head_term)* ")"
+    head_term   := aggregate | term            (aggregates head-only; the
+    aggregate   := ("count"|"sum"|"min"|"max") "(" var ")"    program
+                                               validator rejects body use)
+    term        := VAR | NUMBER | STRING | IDENT (lowercase ident = symbol
+                                                  constant)
+
+Comments run from ``%`` or ``#`` to end of line.  Variables start with an
+uppercase letter or ``_``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from repro.datalog.ast import (
+    Aggregate,
+    Atom,
+    COMPARISON_OPS,
+    Comparison,
+    Const,
+    Literal,
+    Rule,
+    Var,
+)
+
+AGGREGATE_FNS = ("count", "sum", "min", "max")
+
+
+class DatalogSyntaxError(Exception):
+    """Raised with line/column context on malformed input."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("COMMENT", r"[%#][^\n]*"),
+    ("NUMBER", r"-?\d+\.\d+|-?\d+"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("IMPLIES", r":-"),
+    ("CMP", r"!=|<=|>=|=|<|>"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("IDENT", r"[a-z][A-Za-z0-9_]*"),
+    ("VAR", r"[A-Z_][A-Za-z0-9_]*"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{rx})" for name, rx in _TOKEN_SPEC))
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _MASTER_RE.match(source, pos)
+        if match is None:
+            raise DatalogSyntaxError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("WS", "COMMENT"):
+            yield Token(kind, text, line, pos - line_start + 1)
+        pos = match.end()
+    yield Token("EOF", "", line, pos - line_start + 1)
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._tokens = list(tokenize(source))
+        self._pos = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._current
+        if token.kind != kind:
+            raise DatalogSyntaxError(
+                f"expected {kind}, found {token.kind} ({token.text!r})",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._current.kind == kind:
+            return self._advance()
+        return None
+
+    # -- grammar -------------------------------------------------------------
+
+    def program(self) -> list[Rule]:
+        rules: list[Rule] = []
+        while self._current.kind != "EOF":
+            rules.append(self.rule())
+        return rules
+
+    def rule(self) -> Rule:
+        head = self.atom(allow_aggregates=True)
+        body: list = []
+        if self._accept("IMPLIES"):
+            body.append(self.body_item())
+            while self._accept("COMMA"):
+                body.append(self.body_item())
+        self._expect("DOT")
+        return Rule(head, body)
+
+    def body_item(self):
+        token = self._current
+        if token.kind == "IDENT" and token.text == "not":
+            self._advance()
+            return Literal(self.atom(), negated=True)
+        # Lookahead: IDENT "(" is an atom; otherwise it may be the left
+        # term of a comparison (symbol constant) or a plain atom misuse.
+        if token.kind == "IDENT" and self._peek_kind(1) == "LPAREN":
+            return Literal(self.atom())
+        # Comparison: term CMP term.
+        left = self.term()
+        cmp_token = self._expect("CMP")
+        right = self.term()
+        if cmp_token.text not in COMPARISON_OPS:
+            raise DatalogSyntaxError(
+                f"unknown comparison {cmp_token.text!r}",
+                cmp_token.line,
+                cmp_token.column,
+            )
+        return Comparison(cmp_token.text, left, right)
+
+    def _peek_kind(self, offset: int) -> str:
+        index = self._pos + offset
+        if index < len(self._tokens):
+            return self._tokens[index].kind
+        return "EOF"
+
+    def atom(self, allow_aggregates: bool = False) -> Atom:
+        name = self._expect("IDENT")
+        self._expect("LPAREN")
+        terms: list = [self.head_term() if allow_aggregates else self.term()]
+        while self._accept("COMMA"):
+            terms.append(self.head_term() if allow_aggregates else self.term())
+        self._expect("RPAREN")
+        return Atom(name.text, terms)
+
+    def head_term(self):
+        token = self._current
+        if (
+            token.kind == "IDENT"
+            and token.text in AGGREGATE_FNS
+            and self._peek_kind(1) == "LPAREN"
+        ):
+            self._advance()
+            self._expect("LPAREN")
+            var_token = self._expect("VAR")
+            self._expect("RPAREN")
+            return Aggregate(token.text, Var(var_token.text))
+        return self.term()
+
+    def term(self):
+        token = self._advance()
+        if token.kind == "VAR":
+            return Var(token.text)
+        if token.kind == "NUMBER":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.kind == "STRING":
+            raw = token.text[1:-1]
+            return Const(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "IDENT":
+            # Lowercase identifier used as a term is a symbol constant
+            # (e.g. operation codes could be written unquoted).
+            return Const(token.text)
+        raise DatalogSyntaxError(
+            f"expected a term, found {token.kind} ({token.text!r})",
+            token.line,
+            token.column,
+        )
+
+
+def parse_program(source: str) -> list[Rule]:
+    """Parse a whole program (sequence of rules/facts)."""
+    return _Parser(source).program()
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse exactly one rule."""
+    parser = _Parser(source)
+    rule = parser.rule()
+    trailing = parser._current
+    if trailing.kind != "EOF":
+        raise DatalogSyntaxError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return rule

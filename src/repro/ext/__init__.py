@@ -1,0 +1,28 @@
+"""Extensions beyond the paper's prototype scope.
+
+The paper's Section 5 lists what comes after the naive prototype:
+"different workloads with more complex statements have to be analyzed",
+citing Lomet & Mokbel's key-range locking [17] for identifying the data
+a statement touches.  This package holds those forward-looking pieces:
+
+* :mod:`repro.ext.ranges` — declarative scheduling of **key-range
+  requests** (statements that touch a contiguous key interval, e.g.
+  range scans and range updates): the SS2PL rule generalizes from
+  object equality to interval overlap with two extra comparisons,
+  demonstrating that "more complex statements" are again a rule tweak,
+  not a scheduler rewrite.
+"""
+
+from repro.ext.ranges import (
+    RANGE_SS2PL_RULES,
+    RangeRequest,
+    RangeSS2PLProtocol,
+    make_range_tables,
+)
+
+__all__ = [
+    "RANGE_SS2PL_RULES",
+    "RangeRequest",
+    "RangeSS2PLProtocol",
+    "make_range_tables",
+]

@@ -1,0 +1,39 @@
+"""SDL — the Scheduler Definition Language.
+
+The paper's research objective 4: "design a specialized language and
+system based on the experiences gained" (Section 3.2), and its Section 5
+goal of "a suitable declarative scheduler language which is more
+succinct than SQL".  SDL is that language: a tiny protocol-definition
+syntax whose primitives are the *scheduling-domain* concepts the SQL and
+Datalog formulations keep re-deriving (held locks, batch conflicts,
+uncommitted-writer counts), compiled onto the Datalog engine.
+
+SS2PL in SDL is four lines::
+
+    protocol ss2pl {
+        deny any   when write_locked_by_other;
+        deny write when read_locked_by_other;
+        deny any   when batch_conflict;
+    }
+
+compared with ~45 lines of SQL (Listing 1) and ~12 Datalog rules —
+benchmark E9 quantifies exactly this.
+"""
+
+from repro.lang.ast import DenyRule, OrderBy, ProtocolSpec
+from repro.lang.parser import SDLSyntaxError, parse_sdl
+from repro.lang.compiler import SDLCompileError, compile_spec
+from repro.lang.protocol import SDLProtocol, SDL_SS2PL, SDL_READ_COMMITTED
+
+__all__ = [
+    "DenyRule",
+    "OrderBy",
+    "ProtocolSpec",
+    "SDLSyntaxError",
+    "parse_sdl",
+    "SDLCompileError",
+    "compile_spec",
+    "SDLProtocol",
+    "SDL_SS2PL",
+    "SDL_READ_COMMITTED",
+]

@@ -1,0 +1,78 @@
+"""SDL abstract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+#: Request scopes a deny rule can target.
+SCOPES = ("any", "read", "write", "commit", "abort")
+
+#: Built-in conditions (the scheduling-domain primitive vocabulary).
+#: Each maps to a Datalog body fragment in the compiler.
+CONDITIONS = (
+    "write_locked_by_other",
+    "read_locked_by_other",
+    "locked_by_other",
+    "batch_conflict",
+    "batch_write_conflict",
+    "uncommitted_writers_at_least",  # takes an integer argument
+)
+
+#: Order keys for the qualified batch.
+ORDER_KEYS = ("arrival", "priority", "deadline", "transaction")
+
+
+@dataclass(frozen=True, slots=True)
+class Condition:
+    """One built-in condition, with an optional integer argument."""
+
+    name: str
+    argument: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.argument is not None:
+            return f"{self.name}({self.argument})"
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class DenyRule:
+    """``deny <scope> when <condition> [and <condition>]*;``"""
+
+    scope: str
+    conditions: tuple
+
+    def __init__(self, scope: str, conditions: Sequence[Condition]) -> None:
+        object.__setattr__(self, "scope", scope)
+        object.__setattr__(self, "conditions", tuple(conditions))
+
+    def __str__(self) -> str:
+        conds = " and ".join(str(c) for c in self.conditions)
+        return f"deny {self.scope} when {conds};"
+
+
+@dataclass(frozen=True, slots=True)
+class OrderBy:
+    """``order by <key> [asc|desc];``"""
+
+    key: str
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"order by {self.key} {'desc' if self.descending else 'asc'};"
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolSpec:
+    """A parsed SDL protocol."""
+
+    name: str
+    rules: tuple = field(default=())
+    order: Optional[OrderBy] = None
+
+    def __str__(self) -> str:
+        body = "\n".join(f"    {rule}" for rule in self.rules)
+        if self.order is not None:
+            body += f"\n    {self.order}"
+        return f"protocol {self.name} {{\n{body}\n}}"

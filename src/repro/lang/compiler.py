@@ -1,0 +1,139 @@
+"""SDL → Datalog compilation.
+
+Each SDL condition expands to a Datalog body fragment over a standard
+preamble (the lock-footprint predicates every protocol re-derives); the
+deny rules become ``denied`` rules, and a final ``qualified`` rule takes
+the complement.  The emitted program is ordinary stratified Datalog —
+SDL adds no evaluation machinery, only vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.program import Program
+from repro.lang.ast import Condition, DenyRule, ProtocolSpec
+
+
+class SDLCompileError(Exception):
+    """Raised for semantically invalid specs (e.g. a condition that
+    cannot apply to the rule's scope)."""
+
+
+#: Preamble rules, keyed by the derived predicate each provides.  Only
+#: the predicates a spec actually uses are emitted.
+_PREAMBLE: dict[str, str] = {
+    "finished": (
+        'finished(Ta) :- history(_, Ta, _, "c", _).\n'
+        'finished(Ta) :- history(_, Ta, _, "a", _).'
+    ),
+    "wlocked": 'wlocked(Obj, Ta) :- history(_, Ta, _, "w", Obj), not finished(Ta).',
+    "rlocked": (
+        'rlocked(Obj, Ta) :- history(_, Ta, _, "r", Obj), not finished(Ta), '
+        "not wlocked(Obj, Ta)."
+    ),
+    "conflictops": (
+        'conflictops("w", "w").\n'
+        'conflictops("w", "r").\n'
+        'conflictops("r", "w").'
+    ),
+    "wcount": "wcount(Obj, count(Ta)) :- wlocked(Obj, Ta).",
+}
+
+#: condition name -> (body fragment template, required preamble keys).
+#: Templates may reference Ta/Obj/Op of the request being judged.
+_CONDITION_BODIES: dict[str, tuple[str, tuple[str, ...]]] = {
+    "write_locked_by_other": (
+        "wlocked(Obj, Ta2), Ta != Ta2",
+        ("finished", "wlocked"),
+    ),
+    "read_locked_by_other": (
+        "rlocked(Obj, Ta2), Ta != Ta2",
+        ("finished", "wlocked", "rlocked"),
+    ),
+    "locked_by_other": (
+        "anylocked(Obj, Ta2), Ta != Ta2",
+        ("finished", "wlocked", "rlocked", "anylocked"),
+    ),
+    "batch_conflict": (
+        "requests(_, Ta1, _, Op1, Obj), Ta > Ta1, conflictops(Op1, Op)",
+        ("conflictops",),
+    ),
+    "batch_write_conflict": (
+        'requests(_, Ta1, _, "w", Obj), Ta > Ta1',
+        (),
+    ),
+    "uncommitted_writers_at_least": (
+        "wcount(Obj, N), N >= {arg}",
+        ("finished", "wlocked", "wcount"),
+    ),
+}
+
+_EXTRA_PREAMBLE = {
+    "anylocked": (
+        "anylocked(Obj, Ta) :- wlocked(Obj, Ta).\n"
+        "anylocked(Obj, Ta) :- rlocked(Obj, Ta)."
+    ),
+}
+
+_SCOPE_OP = {"read": '"r"', "write": '"w"', "commit": '"c"', "abort": '"a"'}
+
+
+def compile_spec(spec: ProtocolSpec) -> tuple[Program, str]:
+    """Compile an SDL spec to a Datalog program.
+
+    Returns ``(program, source_text)``.  The program defines
+    ``qualified(Id, Ta, I, Op, Obj)`` over extensional ``requests`` and
+    ``history`` relations (Table 2 schema).
+    """
+    needed: set[str] = set()
+    denied_rules: list[str] = []
+    for rule in spec.rules:
+        denied_rules.append(_compile_deny(rule, needed))
+
+    lines: list[str] = [f"% compiled from SDL protocol {spec.name!r}"]
+    for key in ("finished", "wlocked", "rlocked", "conflictops", "wcount"):
+        if key in needed:
+            lines.append(_PREAMBLE[key])
+    for key, text in _EXTRA_PREAMBLE.items():
+        if key in needed:
+            lines.append(text)
+    lines.extend(denied_rules)
+    if denied_rules:
+        lines.append(
+            "qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj), "
+            "not denied(Id)."
+        )
+    else:
+        lines.append(
+            "qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj)."
+        )
+    source = "\n".join(lines) + "\n"
+    return Program.parse(source), source
+
+
+def _compile_deny(rule: DenyRule, needed: set[str]) -> str:
+    head = "denied(Id)"
+    body_parts: list[str] = []
+    if rule.scope == "any":
+        body_parts.append("requests(Id, Ta, _, Op, Obj)")
+    else:
+        op_const = _SCOPE_OP[rule.scope]
+        # Op still bound for batch_conflict's conflictops lookup.
+        body_parts.append(f"requests(Id, Ta, _, Op, Obj), Op = {op_const}")
+    for condition in rule.conditions:
+        body_parts.append(_condition_body(condition, needed))
+    return f"{head} :- {', '.join(body_parts)}."
+
+
+def _condition_body(condition: Condition, needed: set[str]) -> str:
+    try:
+        template, requirements = _CONDITION_BODIES[condition.name]
+    except KeyError:  # pragma: no cover - parser validates names
+        raise SDLCompileError(f"unknown condition {condition.name!r}") from None
+    needed.update(requirements)
+    if "{arg}" in template:
+        if condition.argument is None:
+            raise SDLCompileError(
+                f"condition {condition.name} requires an argument"
+            )
+        return template.format(arg=condition.argument)
+    return template

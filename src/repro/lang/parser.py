@@ -1,0 +1,187 @@
+"""SDL parser.
+
+Grammar::
+
+    spec      := "protocol" IDENT "{" item* "}"
+    item      := deny | order
+    deny      := "deny" scope "when" cond ("and" cond)* ";"
+    scope     := "any" | "read" | "write" | "commit" | "abort"
+    cond      := IDENT [ "(" INT ")" ]
+    order     := "order" "by" key ("asc"|"desc")? ";"
+
+Comments run from ``//`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.lang.ast import (
+    CONDITIONS,
+    Condition,
+    DenyRule,
+    ORDER_KEYS,
+    OrderBy,
+    ProtocolSpec,
+    SCOPES,
+)
+
+
+class SDLSyntaxError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>(//|\#)[^\n]*)
+  | (?P<INT>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LBRACE>\{) | (?P<RBRACE>\})
+  | (?P<LPAREN>\() | (?P<RPAREN>\))
+  | (?P<SEMI>;)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def _tokenize(source: str) -> Iterator[_Token]:
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise SDLSyntaxError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup or ""
+        text = match.group()
+        line += text.count("\n")
+        if kind not in ("WS", "COMMENT"):
+            yield _Token(kind, text, line)
+        pos = match.end()
+    yield _Token("EOF", "", line)
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._tokens = list(_tokenize(source))
+        self._pos = 0
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._current
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise SDLSyntaxError(
+                f"expected {wanted!r}, found {token.text!r}", token.line
+            )
+        return self._advance()
+
+    def spec(self) -> ProtocolSpec:
+        self._expect("IDENT", "protocol")
+        name = self._expect("IDENT").text
+        self._expect("LBRACE")
+        rules: list[DenyRule] = []
+        order: OrderBy | None = None
+        while self._current.kind != "RBRACE":
+            token = self._current
+            if token.kind != "IDENT":
+                raise SDLSyntaxError(
+                    f"expected 'deny' or 'order', found {token.text!r}",
+                    token.line,
+                )
+            if token.text == "deny":
+                rules.append(self._deny())
+            elif token.text == "order":
+                if order is not None:
+                    raise SDLSyntaxError("duplicate order clause", token.line)
+                order = self._order()
+            else:
+                raise SDLSyntaxError(
+                    f"expected 'deny' or 'order', found {token.text!r}",
+                    token.line,
+                )
+        self._expect("RBRACE")
+        trailing = self._current
+        if trailing.kind != "EOF":
+            raise SDLSyntaxError(
+                f"unexpected trailing input {trailing.text!r}", trailing.line
+            )
+        return ProtocolSpec(name=name, rules=tuple(rules), order=order)
+
+    def _deny(self) -> DenyRule:
+        self._expect("IDENT", "deny")
+        scope_token = self._expect("IDENT")
+        if scope_token.text not in SCOPES:
+            raise SDLSyntaxError(
+                f"unknown scope {scope_token.text!r}; "
+                f"expected one of {SCOPES}",
+                scope_token.line,
+            )
+        self._expect("IDENT", "when")
+        conditions = [self._condition()]
+        while self._current.kind == "IDENT" and self._current.text == "and":
+            self._advance()
+            conditions.append(self._condition())
+        self._expect("SEMI")
+        return DenyRule(scope_token.text, conditions)
+
+    def _condition(self) -> Condition:
+        token = self._expect("IDENT")
+        if token.text not in CONDITIONS:
+            raise SDLSyntaxError(
+                f"unknown condition {token.text!r}; "
+                f"expected one of {CONDITIONS}",
+                token.line,
+            )
+        argument: int | None = None
+        if self._current.kind == "LPAREN":
+            self._advance()
+            argument = int(self._expect("INT").text)
+            self._expect("RPAREN")
+        if token.text == "uncommitted_writers_at_least" and argument is None:
+            raise SDLSyntaxError(
+                "uncommitted_writers_at_least requires an integer argument",
+                token.line,
+            )
+        return Condition(token.text, argument)
+
+    def _order(self) -> OrderBy:
+        self._expect("IDENT", "order")
+        self._expect("IDENT", "by")
+        key_token = self._expect("IDENT")
+        if key_token.text not in ORDER_KEYS:
+            raise SDLSyntaxError(
+                f"unknown order key {key_token.text!r}; "
+                f"expected one of {ORDER_KEYS}",
+                key_token.line,
+            )
+        descending = False
+        if self._current.kind == "IDENT" and self._current.text in ("asc", "desc"):
+            descending = self._advance().text == "desc"
+        self._expect("SEMI")
+        return OrderBy(key_token.text, descending)
+
+
+def parse_sdl(source: str) -> ProtocolSpec:
+    """Parse one SDL protocol definition."""
+    return _Parser(source).spec()

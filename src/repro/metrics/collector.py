@@ -1,0 +1,80 @@
+"""Counters, gauges and timers for instrumenting runs."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from repro.metrics.stats import Summary, summarize
+
+
+class Timer:
+    """Accumulates duration samples; usable as a context manager factory."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.samples.append(time.perf_counter() - start)
+
+    def add(self, duration: float) -> None:
+        self.samples.append(duration)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+
+class MetricsCollector:
+    """A namespace of counters, gauges and timers.
+
+    The scheduler and server components accept an optional collector;
+    when absent, instrumentation is skipped — callers use
+    :meth:`MetricsCollector.null` discipline via plain ``None`` checks.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._timers: Dict[str, Timer] = {}
+        self.series: Dict[str, List[tuple[float, float]]] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def record_point(self, series: str, x: float, y: float) -> None:
+        """Append an (x, y) observation to a named series (for plots)."""
+        self.series.setdefault(series, []).append((x, y))
+
+    def timers(self) -> Dict[str, Timer]:
+        return dict(self._timers)
+
+    def report(self) -> str:
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"counter {name} = {self.counters[name]}")
+        for name in sorted(self.gauges):
+            lines.append(f"gauge   {name} = {self.gauges[name]:.6g}")
+        for name in sorted(self._timers):
+            timer = self._timers[name]
+            if timer.samples:
+                lines.append(f"timer   {name}: {timer.summary()}")
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Report rendering: fixed-width tables, ASCII plots, paper-vs-measured.
+
+The benchmark harness prints the same rows/series the paper reports, so
+each bench module ends with a table (Table 1/2 style) or a plot
+(Figure 2 style) rendered by these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule."""
+    columns = len(headers)
+    cells = [[_fmt(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One paper-vs-measured record for EXPERIMENTS.md."""
+
+    quantity: str
+    paper: object
+    measured: object
+    note: str = ""
+
+
+def render_comparison(rows: Sequence[ComparisonRow], title: str = "") -> str:
+    return render_table(
+        ["quantity", "paper", "measured (this repo)", "note"],
+        [[r.quantity, r.paper, r.measured, r.note] for r in rows],
+        title=title,
+    )
+
+
+class AsciiPlot:
+    """A small scatter/line plot on a character grid.
+
+    Supports a log10 y-axis — Figure 2 plots the MU/SU ratio on a log
+    scale from 100 % to 10000 %.
+    """
+
+    def __init__(
+        self,
+        width: int = 72,
+        height: int = 20,
+        log_y: bool = False,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+    ) -> None:
+        self.width = width
+        self.height = height
+        self.log_y = log_y
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self._series: list[tuple[str, list[tuple[float, float]]]] = []
+
+    def add_series(self, marker: str, points: Sequence[tuple[float, float]]) -> None:
+        if len(marker) != 1:
+            raise ValueError("marker must be a single character")
+        self._series.append((marker, [(float(x), float(y)) for x, y in points]))
+
+    def _y_transform(self, y: float) -> float:
+        if self.log_y:
+            if y <= 0:
+                raise ValueError("log-scale plot requires positive y values")
+            return math.log10(y)
+        return y
+
+    def render(self) -> str:
+        points = [p for __, series in self._series for p in series]
+        if not points:
+            return f"{self.title}\n(no data)"
+        xs = [p[0] for p in points]
+        ys = [self._y_transform(p[1]) for p in points]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        if x_max == x_min:
+            x_max = x_min + 1
+        if y_max == y_min:
+            y_max = y_min + 1
+
+        grid = [[" "] * self.width for __ in range(self.height)]
+        for marker, series in self._series:
+            for x, y in series:
+                ty = self._y_transform(y)
+                col = round((x - x_min) / (x_max - x_min) * (self.width - 1))
+                row = round((ty - y_min) / (y_max - y_min) * (self.height - 1))
+                grid[self.height - 1 - row][col] = marker
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for i, row_chars in enumerate(grid):
+            level = y_max - (y_max - y_min) * i / (self.height - 1)
+            value = 10**level if self.log_y else level
+            axis = f"{value:>10.4g} |"
+            lines.append(axis + "".join(row_chars))
+        lines.append(" " * 11 + "+" + "-" * self.width)
+        lines.append(
+            " " * 11
+            + f"{x_min:<10.4g}"
+            + " " * max(0, self.width - 20)
+            + f"{x_max:>10.4g}"
+        )
+        if self.x_label:
+            lines.append(" " * 11 + self.x_label.center(self.width))
+        legend = "   ".join(f"{m} = {i}" for i, (m, __) in enumerate(self._series))
+        if self.y_label or legend:
+            lines.append(f"y: {self.y_label}" if self.y_label else "")
+        return "\n".join(lines)

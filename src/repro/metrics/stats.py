@@ -1,0 +1,67 @@
+"""Summary statistics over numeric samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-plus summary of a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    total: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.6g} sd={self.stdev:.3g} "
+            f"min={self.minimum:.6g} p50={self.p50:.6g} p95={self.p95:.6g} "
+            f"max={self.maximum:.6g}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on empty input."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample set")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / n if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=float(min(samples)),
+        p50=percentile(samples, 50),
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+        maximum=float(max(samples)),
+        total=float(sum(samples)),
+    )

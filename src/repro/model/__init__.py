@@ -1,0 +1,50 @@
+"""Request/transaction data model and schedule-correctness tooling.
+
+The paper's central move is to treat scheduling requests as *regular data*
+(Section 3.1): every request is a row with the attributes of the paper's
+Table 2 (``ID``, ``TA``, ``INTRATA``, ``Operation``, ``Object``).  This
+package defines that row type (:class:`~repro.model.request.Request`),
+transaction containers, and the classical correctness machinery used both
+by the protocol implementations and by the test suite to *verify* that
+produced schedules are serializable, strict, recoverable etc.
+"""
+
+from repro.model.request import (
+    Operation,
+    Request,
+    RequestAttributes,
+    Transaction,
+    TransactionStatus,
+    make_transaction,
+)
+from repro.model.schedule import (
+    Schedule,
+    conflict_graph,
+    conflicts,
+    is_conflict_serializable,
+    is_recoverable,
+    is_avoiding_cascading_aborts,
+    is_strict,
+    is_legal_ss2pl_order,
+    serialization_order,
+)
+from repro.model.history import HistoryView
+
+__all__ = [
+    "Operation",
+    "Request",
+    "RequestAttributes",
+    "Transaction",
+    "TransactionStatus",
+    "make_transaction",
+    "Schedule",
+    "conflicts",
+    "conflict_graph",
+    "is_conflict_serializable",
+    "is_recoverable",
+    "is_avoiding_cascading_aborts",
+    "is_strict",
+    "is_legal_ss2pl_order",
+    "serialization_order",
+    "HistoryView",
+]

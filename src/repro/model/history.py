@@ -1,0 +1,159 @@
+"""Read-only analytical view over an executed-request history.
+
+The paper's architecture keeps a *history database* of "all relevant prior
+executed requests" from which "all necessary information about the current
+database state etc. can be obtained" (Section 3.3).  :class:`HistoryView`
+is the in-memory, object-level counterpart used by imperative baselines
+and by tests; the declarative schedulers consult the same information
+through queries on the relational store instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.model.request import Operation, Request, TransactionStatus
+
+
+class HistoryView:
+    """Incrementally-maintained summary of an executed-request sequence.
+
+    Tracks, per transaction, its status and lock footprint (read/write
+    sets), mirroring exactly the information the paper's Listing 1 derives
+    with its ``RLockedObjects`` / ``WLockedObjects`` CTEs.
+    """
+
+    def __init__(self, requests: Iterable[Request] = ()) -> None:
+        self._requests: list[Request] = []
+        self._status: dict[int, TransactionStatus] = {}
+        self._read_sets: dict[int, set[int]] = {}
+        self._write_sets: dict[int, set[int]] = {}
+        for request in requests:
+            self.record(request)
+
+    def record(self, request: Request) -> None:
+        """Append one executed request and update the summaries."""
+        self._requests.append(request)
+        ta = request.ta
+        self._status.setdefault(ta, TransactionStatus.ACTIVE)
+        if request.operation is Operation.READ:
+            self._read_sets.setdefault(ta, set()).add(request.obj)
+        elif request.operation is Operation.WRITE:
+            self._write_sets.setdefault(ta, set()).add(request.obj)
+        elif request.operation is Operation.COMMIT:
+            self._status[ta] = TransactionStatus.COMMITTED
+        elif request.operation is Operation.ABORT:
+            self._status[ta] = TransactionStatus.ABORTED
+
+    def record_batch(self, batch: Iterable[Request]) -> None:
+        for request in batch:
+            self.record(request)
+
+    # -- per-transaction facts -------------------------------------------------
+
+    def status(self, ta: int) -> TransactionStatus:
+        return self._status.get(ta, TransactionStatus.ACTIVE)
+
+    def is_active(self, ta: int) -> bool:
+        return self.status(ta) is TransactionStatus.ACTIVE
+
+    def is_finished(self, ta: int) -> bool:
+        return self.status(ta) in (
+            TransactionStatus.COMMITTED,
+            TransactionStatus.ABORTED,
+        )
+
+    def read_set(self, ta: int) -> frozenset[int]:
+        return frozenset(self._read_sets.get(ta, ()))
+
+    def write_set(self, ta: int) -> frozenset[int]:
+        return frozenset(self._write_sets.get(ta, ()))
+
+    # -- lock-footprint views (matching Listing 1's CTEs) ----------------------
+
+    @property
+    def active_transactions(self) -> set[int]:
+        return {
+            ta
+            for ta, status in self._status.items()
+            if status is TransactionStatus.ACTIVE
+        }
+
+    def write_locked_objects(self) -> dict[int, set[int]]:
+        """obj -> set of *active* transactions holding a write lock.
+
+        Matches the paper's ``WLockedObjects`` CTE: writes of transactions
+        with no commit/abort in the history.
+        """
+        locked: dict[int, set[int]] = {}
+        for ta in self.active_transactions:
+            for obj in self._write_sets.get(ta, ()):
+                locked.setdefault(obj, set()).add(ta)
+        return locked
+
+    def read_locked_objects(self) -> dict[int, set[int]]:
+        """obj -> set of *active* transactions holding a pure read lock.
+
+        Matches ``RLockedObjects``: reads by active transactions that did
+        not also write the object (a write subsumes/upgrades the lock).
+        """
+        locked: dict[int, set[int]] = {}
+        for ta in self.active_transactions:
+            writes = self._write_sets.get(ta, set())
+            for obj in self._read_sets.get(ta, ()):
+                if obj not in writes:
+                    locked.setdefault(obj, set()).add(ta)
+        return locked
+
+    def would_conflict(self, request: Request) -> bool:
+        """Would executing *request* now conflict with a held lock?
+
+        This is the single-request imperative equivalent of what Listing 1
+        computes for the whole pending set at once.
+        """
+        if not request.operation.is_data_access:
+            return False
+        write_holders = {
+            ta
+            for ta in self.active_transactions
+            if request.obj in self._write_sets.get(ta, set())
+        }
+        if write_holders - {request.ta}:
+            return True
+        if request.operation is Operation.WRITE:
+            read_holders = {
+                ta
+                for ta in self.active_transactions
+                if request.obj in self._read_sets.get(ta, set())
+            }
+            if read_holders - {request.ta}:
+                return True
+        return False
+
+    # -- pruning ---------------------------------------------------------------
+
+    def prune_finished(self) -> int:
+        """Drop requests of finished transactions; return how many rows
+        were removed.  The paper keeps only "relevant" prior requests in
+        the history database — under SS2PL, requests of committed/aborted
+        transactions hold no locks and are irrelevant to scheduling."""
+        finished = {
+            ta
+            for ta, status in self._status.items()
+            if status is not TransactionStatus.ACTIVE
+        }
+        before = len(self._requests)
+        self._requests = [r for r in self._requests if r.ta not in finished]
+        for ta in finished:
+            self._status.pop(ta, None)
+            self._read_sets.pop(ta, None)
+            self._write_sets.pop(ta, None)
+        return before - len(self._requests)
+
+    # -- container protocol ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self._requests)
+
+    def __len__(self) -> int:
+        return len(self._requests)

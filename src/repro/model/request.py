@@ -1,0 +1,306 @@
+"""Request and transaction primitives (the paper's Table 2 data model).
+
+The paper stores pending and historical requests in relations with the
+attributes::
+
+    ID        Consecutive request number
+    TA        Transaction number
+    INTRATA   Request number within a transaction
+    Operation Operation type (read/write/abort/commit)
+    Object    Object number
+
+:class:`Request` carries exactly these five attributes plus an optional
+:class:`RequestAttributes` side-car for middleware concerns the paper
+motivates but does not put in Table 2 (client identity, SLA class,
+deadline, arrival timestamp).  Keeping the side-car separate keeps the
+core row faithful to the paper while letting SLA protocols (Section 1,
+constraint (2)) order requests on richer attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+class Operation(enum.Enum):
+    """Operation type of a request, encoded as in the paper's SQL.
+
+    The paper's Listing 1 compares the ``operation`` column against the
+    single-letter codes ``'r'``, ``'w'``, ``'a'`` and ``'c'``; we keep the
+    same codes as enum values so relational/SQL backends can use them
+    verbatim.
+    """
+
+    READ = "r"
+    WRITE = "w"
+    ABORT = "a"
+    COMMIT = "c"
+
+    @property
+    def is_data_access(self) -> bool:
+        """True for read/write, False for the termination operations."""
+        return self in (Operation.READ, Operation.WRITE)
+
+    @property
+    def is_termination(self) -> bool:
+        """True for commit/abort."""
+        return self in (Operation.COMMIT, Operation.ABORT)
+
+    @classmethod
+    def from_code(cls, code: str) -> "Operation":
+        """Parse a single-letter operation code (``r``/``w``/``a``/``c``)."""
+        try:
+            return cls(code.lower())
+        except ValueError:
+            raise ValueError(f"unknown operation code: {code!r}") from None
+
+
+class TransactionStatus(enum.Enum):
+    """Lifecycle state of a transaction as seen by a scheduler."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+#: Object number used for termination requests, which touch no data object.
+#: The paper's schema still has an Object column for them; we use -1 as the
+#: conventional "no object" marker so rows stay fixed-width integers.
+NO_OBJECT = -1
+
+
+@dataclass(frozen=True, slots=True)
+class RequestAttributes:
+    """Optional middleware attributes attached to a request.
+
+    These model the paper's constraint class (2): service-level agreements
+    such as "premium vs. free customers" (Section 1), plus bookkeeping the
+    middleware needs (who to send the result to, when the request arrived).
+    """
+
+    client_id: int = 0
+    sla_class: str = "standard"
+    priority: int = 0
+    deadline: Optional[float] = None
+    arrival_time: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One schedulable request — a row of the paper's ``requests`` table.
+
+    Attributes mirror the paper's Table 2 exactly; ``attrs`` is the
+    optional SLA/bookkeeping side-car (not part of the paper's schema).
+    """
+
+    id: int
+    ta: int
+    intrata: int
+    operation: Operation
+    obj: int = NO_OBJECT
+    attrs: RequestAttributes = field(default=RequestAttributes(), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.operation.is_data_access and self.obj < 0:
+            raise ValueError(
+                f"data access {self.operation.name} requires a non-negative "
+                f"object number, got {self.obj}"
+            )
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation is Operation.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.operation is Operation.WRITE
+
+    @property
+    def is_commit(self) -> bool:
+        return self.operation is Operation.COMMIT
+
+    @property
+    def is_abort(self) -> bool:
+        return self.operation is Operation.ABORT
+
+    def conflicts_with(self, other: "Request") -> bool:
+        """Classical conflict test: same object, different transaction,
+        at least one write.  Termination requests never conflict."""
+        if not (self.operation.is_data_access and other.operation.is_data_access):
+            return False
+        if self.ta == other.ta or self.obj != other.obj:
+            return False
+        return self.is_write or other.is_write
+
+    def with_attrs(self, **changes) -> "Request":
+        """Return a copy with updated side-car attributes."""
+        return replace(self, attrs=replace(self.attrs, **changes))
+
+    def as_row(self) -> tuple:
+        """Project onto the paper's Table 2 columns (ID, TA, INTRATA,
+        Operation, Object) — the shape stored in the relational engine."""
+        return (self.id, self.ta, self.intrata, self.operation.value, self.obj)
+
+    @classmethod
+    def from_row(cls, row: Sequence) -> "Request":
+        """Inverse of :meth:`as_row` (extra columns are ignored)."""
+        rid, ta, intrata, op, obj = row[:5]
+        return cls(
+            id=int(rid),
+            ta=int(ta),
+            intrata=int(intrata),
+            operation=Operation.from_code(str(op)),
+            obj=int(obj),
+        )
+
+    def __str__(self) -> str:  # e.g. "r3[17]" / "c3"
+        code = self.operation.value
+        if self.operation.is_data_access:
+            return f"{code}{self.ta}[{self.obj}]"
+        return f"{code}{self.ta}"
+
+
+@dataclass(slots=True)
+class Transaction:
+    """An ordered bundle of requests sharing a transaction number.
+
+    A transaction is *well-formed* when its INTRATA numbers are the
+    consecutive sequence 0..n-1 and at most one termination request exists,
+    positioned last.
+    """
+
+    ta: int
+    requests: list[Request] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def data_accesses(self) -> list[Request]:
+        return [r for r in self.requests if r.operation.is_data_access]
+
+    @property
+    def objects(self) -> set[int]:
+        """Set of object numbers touched by the transaction's data accesses."""
+        return {r.obj for r in self.data_accesses}
+
+    @property
+    def write_set(self) -> set[int]:
+        return {r.obj for r in self.requests if r.is_write}
+
+    @property
+    def read_set(self) -> set[int]:
+        return {r.obj for r in self.requests if r.is_read}
+
+    @property
+    def termination(self) -> Optional[Request]:
+        """The commit/abort request, if present."""
+        for request in self.requests:
+            if request.operation.is_termination:
+                return request
+        return None
+
+    def is_well_formed(self) -> bool:
+        intratas = [r.intrata for r in self.requests]
+        if intratas != list(range(len(self.requests))):
+            return False
+        terminations = [r for r in self.requests if r.operation.is_termination]
+        if len(terminations) > 1:
+            return False
+        if terminations and self.requests[-1] is not terminations[0]:
+            return False
+        return all(r.ta == self.ta for r in self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class _RequestIdAllocator:
+    """Process-wide allocator for the consecutive ``ID`` column.
+
+    The paper's ID attribute is a "consecutive request number"; workload
+    generators normally manage their own counters, but ad-hoc construction
+    (tests, examples) can lean on this shared allocator.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> int:
+        return next(self._counter)
+
+    def reset(self) -> None:
+        self._counter = itertools.count(1)
+
+
+GLOBAL_REQUEST_IDS = _RequestIdAllocator()
+
+
+def make_transaction(
+    ta: int,
+    accesses: Iterable[tuple[str, int]],
+    terminate: str = "c",
+    start_id: Optional[int] = None,
+    attrs: Optional[RequestAttributes] = None,
+) -> Transaction:
+    """Build a well-formed transaction from ``(op_code, object)`` pairs.
+
+    Parameters
+    ----------
+    ta:
+        Transaction number.
+    accesses:
+        Iterable of ``("r"|"w", object_number)`` pairs, in program order.
+    terminate:
+        ``"c"`` to commit (default), ``"a"`` to abort, ``""`` for an
+        open transaction with no termination request.
+    start_id:
+        First ID to assign; defaults to drawing from the global allocator.
+    attrs:
+        Optional side-car attributes applied to every request.
+
+    Examples
+    --------
+    >>> txn = make_transaction(7, [("r", 10), ("w", 10)], start_id=1)
+    >>> [str(r) for r in txn]
+    ['r7[10]', 'w7[10]', 'c7']
+    """
+    side_car = attrs if attrs is not None else RequestAttributes()
+    requests: list[Request] = []
+    counter = (
+        itertools.count(start_id)
+        if start_id is not None
+        else iter(GLOBAL_REQUEST_IDS.next_id, None)
+    )
+    intrata = 0
+    for code, obj in accesses:
+        requests.append(
+            Request(
+                id=next(counter),
+                ta=ta,
+                intrata=intrata,
+                operation=Operation.from_code(code),
+                obj=obj,
+                attrs=side_car,
+            )
+        )
+        intrata += 1
+    if terminate:
+        requests.append(
+            Request(
+                id=next(counter),
+                ta=ta,
+                intrata=intrata,
+                operation=Operation.from_code(terminate),
+                obj=NO_OBJECT,
+                attrs=side_car,
+            )
+        )
+    return Transaction(ta=ta, requests=requests)

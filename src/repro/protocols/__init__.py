@@ -1,0 +1,59 @@
+"""Declaratively specified scheduling protocols.
+
+This package is the paper's deliverable: scheduling protocols defined as
+declarative rules over the ``requests`` (pending) and ``history`` tables
+rather than as hand-coded imperative schedulers.  It covers the paper's
+three protocol classes (Section 3.1):
+
+(a) **traditional consistency protocols** — SS2PL (the paper's Listing 1,
+    provided in four interchangeable declarative backends: our relational
+    algebra, Datalog, the SDL mini-language, and the paper's literal SQL
+    on sqlite3) and conservative 2PL;
+(b) **service-level agreements** — tier/priority ordering and
+    earliest-deadline-first, composable with any consistency protocol;
+(c) **application-specific consistency** — a relaxed read-committed-style
+    protocol, a domain invariant example (bounded oversell), and an
+    adaptive protocol that switches consistency levels with load
+    (Section 5's "adaptive consistency scheduler").
+"""
+
+from repro.protocols.base import (
+    Capabilities,
+    Protocol,
+    ProtocolDecision,
+    PROTOCOL_REGISTRY,
+    register_protocol,
+)
+from repro.protocols.ss2pl import SS2PLRelalgProtocol, PaperListing1Protocol
+from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol, SS2PL_DATALOG_RULES
+from repro.protocols.ss2pl_incremental import SS2PLIncrementalProtocol
+from repro.protocols.ss2pl_sqlfront import SqlFrontendSS2PLProtocol
+from repro.protocols.ss2pl_sql import SS2PLSqlProtocol
+from repro.protocols.c2pl import ConservativeTwoPLProtocol
+from repro.protocols.fcfs import FCFSProtocol
+from repro.protocols.sla import SLAOrderingProtocol, EarliestDeadlineFirstProtocol
+from repro.protocols.relaxed import ReadCommittedProtocol
+from repro.protocols.app_consistency import BoundedOversellProtocol
+from repro.protocols.adaptive import AdaptiveConsistencyProtocol
+
+__all__ = [
+    "Capabilities",
+    "Protocol",
+    "ProtocolDecision",
+    "PROTOCOL_REGISTRY",
+    "register_protocol",
+    "SS2PLRelalgProtocol",
+    "PaperListing1Protocol",
+    "SS2PLDatalogProtocol",
+    "SS2PL_DATALOG_RULES",
+    "SS2PLIncrementalProtocol",
+    "SS2PLSqlProtocol",
+    "SqlFrontendSS2PLProtocol",
+    "ConservativeTwoPLProtocol",
+    "FCFSProtocol",
+    "SLAOrderingProtocol",
+    "EarliestDeadlineFirstProtocol",
+    "ReadCommittedProtocol",
+    "BoundedOversellProtocol",
+    "AdaptiveConsistencyProtocol",
+]

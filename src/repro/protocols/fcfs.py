@@ -1,0 +1,43 @@
+"""First-come-first-served: the no-consistency baseline protocol.
+
+Qualifies every pending request in arrival (id) order.  This is the
+scheduler's "non-scheduling mode" expressed as a protocol — useful as
+the lower bound on declarative-scheduling overhead and as the
+consistency-free arm of the adaptive protocol.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import (
+    Capabilities,
+    Protocol,
+    ProtocolDecision,
+    register_protocol,
+    requests_from_relation,
+)
+from repro.relalg.query import Query
+from repro.relalg.table import Table
+
+FCFS_RULES = """\
+qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj).
+"""
+
+
+class FCFSProtocol(Protocol):
+    """Admit everything, ordered by request id."""
+
+    name = "fcfs"
+    description = "first-come-first-served, no consistency constraints"
+    capabilities = Capabilities(
+        performance=True, declarative=True, flexible=True, high_scalability=True
+    )
+    declarative_source = FCFS_RULES
+
+    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
+        relation = Query.from_(requests).order_by("id").execute()
+        return ProtocolDecision(qualified=requests_from_relation(relation.rows))
+
+
+@register_protocol
+def _make_fcfs() -> FCFSProtocol:
+    return FCFSProtocol()

@@ -1,0 +1,48 @@
+"""SS2PL via the paper's literal SQL — on our own engine.
+
+Completes the language-question circle: the same Listing 1 *text* that
+:mod:`repro.sqlbridge` feeds to sqlite3 parses and executes on this
+repository's relational engine through :mod:`repro.relalg.sql`.  Where
+:class:`~repro.protocols.ss2pl.PaperListing1Protocol` is a hand
+transliteration of Listing 1 into the builder API, this protocol has no
+hand-written plan at all — SQL in, schedule out.
+"""
+
+from __future__ import annotations
+
+from repro.model.request import Request
+from repro.protocols.base import (
+    Capabilities,
+    Protocol,
+    ProtocolDecision,
+    register_protocol,
+)
+from repro.protocols.ss2pl import LISTING1_SQL
+from repro.relalg.sql import SqlPlanner
+from repro.relalg.table import Table
+
+
+class SqlFrontendSS2PLProtocol(Protocol):
+    """Listing 1 parsed and planned by :class:`repro.relalg.sql.SqlPlanner`."""
+
+    name = "ss2pl-sqlfront"
+    description = "SS2PL: the paper's SQL text on our SQL frontend"
+    capabilities = Capabilities(
+        performance=True, qos=True, declarative=True, flexible=True,
+        high_scalability=True,
+    )
+    declarative_source = LISTING1_SQL
+
+    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
+        planner = SqlPlanner({"requests": requests, "history": history})
+        relation = planner.execute(LISTING1_SQL)
+        qualified = sorted(
+            (Request.from_row(row) for row in relation.rows),
+            key=lambda r: r.id,
+        )
+        return ProtocolDecision(qualified=qualified)
+
+
+@register_protocol
+def _make_ss2pl_sqlfront() -> SqlFrontendSS2PLProtocol:
+    return SqlFrontendSS2PLProtocol()

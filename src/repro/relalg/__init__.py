@@ -1,0 +1,50 @@
+"""A from-scratch relational algebra engine.
+
+The paper proposes "to employ database query processing techniques to
+produce high-quality schedules" (abstract).  Its experiments run the
+SS2PL scheduling rule of Listing 1 as a SQL query on a commercial DBMS.
+This package is our query processor: a small but complete relational
+engine with
+
+* :class:`~repro.relalg.schema.Schema` / :class:`~repro.relalg.table.Table`
+  row storage with hash indexes,
+* a composable expression language (:mod:`repro.relalg.expressions`),
+* physical operators — selection, projection, hash/nested-loop joins,
+  outer joins, semi/anti joins, set operations, aggregation, sorting
+  (:mod:`repro.relalg.operators`),
+* a fluent :class:`~repro.relalg.query.Query` builder with named
+  subqueries mirroring SQL's ``WITH`` clause, and
+* a heuristic optimizer (:mod:`repro.relalg.optimizer`).
+
+The scheduling protocols in :mod:`repro.protocols` are written against
+this API; :mod:`repro.sqlbridge` cross-checks results against sqlite3
+running the paper's literal SQL.
+"""
+
+from repro.relalg.schema import Column, Schema
+from repro.relalg.table import Table
+from repro.relalg.relation import Relation
+from repro.relalg.expressions import (
+    Expr,
+    col,
+    lit,
+    and_,
+    or_,
+    not_,
+)
+from repro.relalg.query import Query, Pipeline
+
+__all__ = [
+    "Column",
+    "Schema",
+    "Table",
+    "Relation",
+    "Expr",
+    "col",
+    "lit",
+    "and_",
+    "or_",
+    "not_",
+    "Query",
+    "Pipeline",
+]

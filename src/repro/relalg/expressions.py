@@ -1,0 +1,385 @@
+"""Scalar expression language for selections, projections and joins.
+
+Expressions form a small tree (column references, literals, comparisons,
+boolean connectives, arithmetic) that *binds* against a schema once and
+then evaluates per row as a plain closure — binding resolves column names
+to tuple positions ahead of time, so the per-row cost is a few indexed
+loads, which matters because the declarative-overhead experiment times
+query evaluation.
+
+SQL's three-valued NULL logic is simplified to Python's two-valued logic
+with ``None`` propagation in comparisons: any comparison against ``None``
+is False (matching how the paper's Listing 1 uses ``IS NULL`` explicitly
+where NULL handling matters — we provide :func:`is_null` for that).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Optional, Sequence
+
+from repro.relalg.schema import Schema
+
+#: A bound expression: a function from row-tuple to value.
+Bound = Callable[[tuple], Any]
+
+
+class Expr:
+    """Base class of expression nodes.
+
+    Subclasses implement :meth:`bind`; Python operators are overloaded to
+    build comparison/arithmetic/boolean nodes so protocol code reads close
+    to SQL: ``col("r.ta") != col("wlo.ta")``.
+    """
+
+    def bind(self, schema: Schema) -> Bound:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[tuple[Optional[str], str]]:
+        """Set of (qualifier, name) pairs referenced by the expression —
+        used by the optimizer for predicate pushdown."""
+        return set()
+
+    # -- comparisons ------------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Compare(operator.eq, "=", self, _wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Compare(operator.ne, "<>", self, _wrap(other))
+
+    def __lt__(self, other):
+        return Compare(operator.lt, "<", self, _wrap(other))
+
+    def __le__(self, other):
+        return Compare(operator.le, "<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return Compare(operator.gt, ">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return Compare(operator.ge, ">=", self, _wrap(other))
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other):
+        return Arith(operator.add, "+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return Arith(operator.sub, "-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return Arith(operator.mul, "*", self, _wrap(other))
+
+    # -- boolean ----------------------------------------------------------
+
+    def __and__(self, other):
+        return And([self, _wrap(other)])
+
+    def __or__(self, other):
+        return Or([self, _wrap(other)])
+
+    def __invert__(self):
+        return Not(self)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def in_(self, values: Sequence[Any]) -> "Expr":
+        return InSet(self, frozenset(values))
+
+
+def _wrap(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Literal(value)
+
+
+class ColumnRef(Expr):
+    """Reference to a column, optionally qualified: ``col("r.ta")``."""
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name: str, qualifier: Optional[str] = None) -> None:
+        if qualifier is None and "." in name:
+            qualifier, name = name.split(".", 1)
+        self.qualifier = qualifier
+        self.name = name
+
+    def bind(self, schema: Schema) -> Bound:
+        pos = schema.resolve(self.name, self.qualifier)
+        return operator.itemgetter(pos)
+
+    def referenced_columns(self) -> set[tuple[Optional[str], str]]:
+        return {(self.qualifier, self.name)}
+
+    def __repr__(self) -> str:
+        if self.qualifier:
+            return f"col({self.qualifier}.{self.name})"
+        return f"col({self.name})"
+
+
+class Literal(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> Bound:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class Compare(Expr):
+    """Binary comparison with None propagation (NULL-safe: any comparison
+    involving None is False, as in SQL's UNKNOWN treated as not-satisfied)."""
+
+    __slots__ = ("op", "symbol", "left", "right")
+
+    def __init__(self, op: Callable, symbol: str, left: Expr, right: Expr) -> None:
+        self.op = op
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> Bound:
+        lf, rf, op = self.left.bind(schema), self.right.bind(schema), self.op
+
+        def run(row: tuple) -> bool:
+            lv, rv = lf(row), rf(row)
+            if lv is None or rv is None:
+                return False
+            return op(lv, rv)
+
+        return run
+
+    def referenced_columns(self):
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Arith(Expr):
+    __slots__ = ("op", "symbol", "left", "right")
+
+    def __init__(self, op: Callable, symbol: str, left: Expr, right: Expr) -> None:
+        self.op = op
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> Bound:
+        lf, rf, op = self.left.bind(schema), self.right.bind(schema), self.op
+
+        def run(row: tuple) -> Any:
+            lv, rv = lf(row), rf(row)
+            if lv is None or rv is None:
+                return None
+            return op(lv, rv)
+
+        return run
+
+    def referenced_columns(self):
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class And(Expr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Expr]) -> None:
+        # Flatten nested ANDs so the optimizer sees one conjunct list.
+        flat: list[Expr] = []
+        for part in parts:
+            if isinstance(part, And):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        self.parts = flat
+
+    def bind(self, schema: Schema) -> Bound:
+        bound = [p.bind(schema) for p in self.parts]
+
+        def run(row: tuple) -> bool:
+            return all(f(row) for f in bound)
+
+        return run
+
+    def referenced_columns(self):
+        out: set = set()
+        for part in self.parts:
+            out |= part.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+
+class Or(Expr):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Expr]) -> None:
+        flat: list[Expr] = []
+        for part in parts:
+            if isinstance(part, Or):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        self.parts = flat
+
+    def bind(self, schema: Schema) -> Bound:
+        bound = [p.bind(schema) for p in self.parts]
+
+        def run(row: tuple) -> bool:
+            return any(f(row) for f in bound)
+
+        return run
+
+    def referenced_columns(self):
+        out: set = set()
+        for part in self.parts:
+            out |= part.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+class Not(Expr):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expr) -> None:
+        self.inner = inner
+
+    def bind(self, schema: Schema) -> Bound:
+        f = self.inner.bind(schema)
+        return lambda row: not f(row)
+
+    def referenced_columns(self):
+        return self.inner.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"NOT {self.inner!r}"
+
+
+class IsNull(Expr):
+    """SQL ``expr IS NULL`` — needed by Listing 1's outer-join filter."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Expr) -> None:
+        self.inner = inner
+
+    def bind(self, schema: Schema) -> Bound:
+        f = self.inner.bind(schema)
+        return lambda row: f(row) is None
+
+    def referenced_columns(self):
+        return self.inner.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r} IS NULL)"
+
+
+class InSet(Expr):
+    """``expr IN (v1, v2, ...)`` against a constant set."""
+
+    __slots__ = ("inner", "values")
+
+    def __init__(self, inner: Expr, values: frozenset) -> None:
+        self.inner = inner
+        self.values = values
+
+    def bind(self, schema: Schema) -> Bound:
+        f, values = self.inner.bind(schema), self.values
+        return lambda row: f(row) in values
+
+    def referenced_columns(self):
+        return self.inner.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.inner!r} IN {sorted(self.values, key=repr)})"
+
+
+class Func(Expr):
+    """Escape hatch: arbitrary Python function over named column values.
+
+    Kept for application-specific consistency rules that go beyond the
+    comparison/arithmetic core (Section 2's "application specific
+    consistency models").
+    """
+
+    __slots__ = ("fn", "columns", "label")
+
+    def __init__(self, fn: Callable[..., Any], columns: Sequence[str], label: str = "") -> None:
+        self.fn = fn
+        self.columns = [ColumnRef(c) for c in columns]
+        self.label = label or getattr(fn, "__name__", "func")
+
+    def bind(self, schema: Schema) -> Bound:
+        getters = [c.bind(schema) for c in self.columns]
+        fn = self.fn
+        return lambda row: fn(*[g(row) for g in getters])
+
+    def referenced_columns(self):
+        out: set = set()
+        for c in self.columns:
+            out |= c.referenced_columns()
+        return out
+
+    def __repr__(self) -> str:
+        return f"{self.label}({', '.join(repr(c) for c in self.columns)})"
+
+
+# -- public constructors -------------------------------------------------
+
+
+def col(name: str, qualifier: Optional[str] = None) -> ColumnRef:
+    """Column reference; accepts ``"name"`` or ``"alias.name"``."""
+    return ColumnRef(name, qualifier)
+
+
+def lit(value: Any) -> Literal:
+    """Literal constant."""
+    return Literal(value)
+
+
+def and_(*parts: Expr) -> Expr:
+    """N-ary conjunction (empty conjunction is TRUE)."""
+    if not parts:
+        return Literal(True)
+    if len(parts) == 1:
+        return parts[0]
+    return And(list(parts))
+
+
+def or_(*parts: Expr) -> Expr:
+    """N-ary disjunction (empty disjunction is FALSE)."""
+    if not parts:
+        return Literal(False)
+    if len(parts) == 1:
+        return parts[0]
+    return Or(list(parts))
+
+
+def not_(part: Expr) -> Expr:
+    return Not(part)
+
+
+def is_null(part: Expr) -> Expr:
+    return IsNull(part)
+
+
+def func(fn: Callable[..., Any], *columns: str, label: str = "") -> Func:
+    return Func(fn, columns, label=label)
+
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten an expression into its top-level AND-ed conjuncts."""
+    if isinstance(expr, And):
+        return list(expr.parts)
+    return [expr]

@@ -1,0 +1,387 @@
+"""Physical relational operators.
+
+Each operator is a function ``Relation -> Relation`` (or binary).  The
+set covers what the paper's Listing 1 needs — CTE composition, self-joins,
+``NOT EXISTS`` (anti-join), ``LEFT JOIN ... IS NULL``, ``EXCEPT``,
+``UNION ALL``, ``DISTINCT`` — plus aggregation/sorting for the SLA and
+metrics queries.
+
+Joins prefer hash-based algorithms when an equality predicate is
+available; the optimizer (:mod:`repro.relalg.optimizer`) extracts
+equi-join keys from predicates automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.relalg.expressions import Bound, Expr
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Column, Schema
+
+
+# -- unary operators ----------------------------------------------------------
+
+
+def select(relation: Relation, predicate: Expr) -> Relation:
+    """σ — keep rows satisfying *predicate*."""
+    test = predicate.bind(relation.schema)
+    return Relation(relation.schema, [row for row in relation.rows if test(row)])
+
+
+def project(relation: Relation, columns: Sequence[str]) -> Relation:
+    """π — keep the named columns (bag semantics; duplicates retained)."""
+    positions = [relation.schema.resolve(*_split(name)) for name in columns]
+    out_schema = Schema(
+        [Column(_split(name)[0]) for name in columns]
+    )
+    rows = [tuple(row[p] for p in positions) for row in relation.rows]
+    return Relation(out_schema, rows)
+
+
+def extend(relation: Relation, name: str, expr: Expr) -> Relation:
+    """Append a computed column (SQL's ``SELECT *, expr AS name``)."""
+    fn = expr.bind(relation.schema)
+    out_schema = Schema(list(relation.schema.columns) + [Column(name)])
+    rows = [row + (fn(row),) for row in relation.rows]
+    return Relation(out_schema, rows)
+
+
+def rename(relation: Relation, alias: str) -> Relation:
+    """ρ — re-qualify every column with *alias* (``FROM x AS alias``)."""
+    return Relation(relation.schema.qualify(alias), relation.rows)
+
+
+def distinct(relation: Relation) -> Relation:
+    """δ — duplicate elimination, preserving first-seen order."""
+    seen: set[tuple] = set()
+    rows: list[tuple] = []
+    for row in relation.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Relation(relation.schema, rows)
+
+
+def order_by(
+    relation: Relation,
+    keys: Sequence[str | tuple[str, bool]],
+) -> Relation:
+    """Sort rows.  Each key is a column name or ``(name, descending)``.
+
+    Sorting is stable, so multi-key ordering can also be achieved by
+    chaining calls from least- to most-significant key.
+    """
+    rows = list(relation.rows)
+    # Apply keys right-to-left relying on sort stability.
+    for key in reversed(list(keys)):
+        if isinstance(key, tuple):
+            name, descending = key
+        else:
+            name, descending = key, False
+        pos = relation.schema.resolve(*_split(name))
+        rows.sort(key=lambda row: row[pos], reverse=descending)
+    return Relation(relation.schema, rows)
+
+
+def limit(relation: Relation, n: int) -> Relation:
+    return Relation(relation.schema, relation.rows[:n])
+
+
+# -- joins --------------------------------------------------------------------
+
+
+def cross_join(left: Relation, right: Relation) -> Relation:
+    schema = left.schema.concat(right.schema)
+    rows = [lr + rr for lr in left.rows for rr in right.rows]
+    return Relation(schema, rows)
+
+
+def nested_loop_join(left: Relation, right: Relation, predicate: Expr) -> Relation:
+    """θ-join by nested loops — fallback when no equi-key exists."""
+    schema = left.schema.concat(right.schema)
+    test = predicate.bind(schema)
+    rows = [
+        combined
+        for lr in left.rows
+        for rr in right.rows
+        if test(combined := lr + rr)
+    ]
+    return Relation(schema, rows)
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual: Optional[Expr] = None,
+) -> Relation:
+    """Equi-join via build/probe hash table (build side = right)."""
+    left_pos = [left.schema.resolve(*_split(k)) for k in left_keys]
+    right_pos = [right.schema.resolve(*_split(k)) for k in right_keys]
+    schema = left.schema.concat(right.schema)
+    residual_test = residual.bind(schema) if residual is not None else None
+
+    buckets: dict[tuple, list[tuple]] = {}
+    for rr in right.rows:
+        buckets.setdefault(tuple(rr[p] for p in right_pos), []).append(rr)
+
+    rows: list[tuple] = []
+    for lr in left.rows:
+        key = tuple(lr[p] for p in left_pos)
+        for rr in buckets.get(key, ()):
+            combined = lr + rr
+            if residual_test is None or residual_test(combined):
+                rows.append(combined)
+    return Relation(schema, rows)
+
+
+def left_outer_join(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual: Optional[Expr] = None,
+) -> Relation:
+    """LEFT OUTER equi-join; unmatched left rows pad the right side with
+    None — exactly what Listing 1's ``LEFT JOIN ... IS NULL`` idiom needs."""
+    left_pos = [left.schema.resolve(*_split(k)) for k in left_keys]
+    right_pos = [right.schema.resolve(*_split(k)) for k in right_keys]
+    schema = left.schema.concat(right.schema)
+    residual_test = residual.bind(schema) if residual is not None else None
+    null_pad = (None,) * right.schema.arity
+
+    buckets: dict[tuple, list[tuple]] = {}
+    for rr in right.rows:
+        buckets.setdefault(tuple(rr[p] for p in right_pos), []).append(rr)
+
+    rows: list[tuple] = []
+    for lr in left.rows:
+        key = tuple(lr[p] for p in left_pos)
+        matched = False
+        for rr in buckets.get(key, ()):
+            combined = lr + rr
+            if residual_test is None or residual_test(combined):
+                rows.append(combined)
+                matched = True
+        if not matched:
+            rows.append(lr + null_pad)
+    return Relation(schema, rows)
+
+
+def semi_join(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> Relation:
+    """Left rows with at least one key match on the right (SQL EXISTS)."""
+    left_pos = [left.schema.resolve(*_split(k)) for k in left_keys]
+    right_pos = [right.schema.resolve(*_split(k)) for k in right_keys]
+    keys = {tuple(rr[p] for p in right_pos) for rr in right.rows}
+    rows = [
+        lr for lr in left.rows if tuple(lr[p] for p in left_pos) in keys
+    ]
+    return Relation(left.schema, rows)
+
+
+def anti_join(
+    left: Relation,
+    right: Relation,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    residual: Optional[Expr] = None,
+) -> Relation:
+    """Left rows with no key match on the right (SQL NOT EXISTS).
+
+    With a *residual* predicate, a left row is dropped only when some
+    key match also satisfies the residual (evaluated over the
+    concatenated schema) — the hash-based decorrelation of
+    ``NOT EXISTS`` subqueries with mixed equality/other conjuncts.
+    """
+    left_pos = [left.schema.resolve(*_split(k)) for k in left_keys]
+    right_pos = [right.schema.resolve(*_split(k)) for k in right_keys]
+    if residual is None:
+        keys = {tuple(rr[p] for p in right_pos) for rr in right.rows}
+        rows = [
+            lr
+            for lr in left.rows
+            if tuple(lr[p] for p in left_pos) not in keys
+        ]
+        return Relation(left.schema, rows)
+    combined = left.schema.concat(right.schema)
+    test = residual.bind(combined)
+    buckets: dict[tuple, list[tuple]] = {}
+    for rr in right.rows:
+        buckets.setdefault(tuple(rr[p] for p in right_pos), []).append(rr)
+    rows = [
+        lr
+        for lr in left.rows
+        if not any(
+            test(lr + rr)
+            for rr in buckets.get(tuple(lr[p] for p in left_pos), ())
+        )
+    ]
+    return Relation(left.schema, rows)
+
+
+def anti_join_predicate(left: Relation, right: Relation, predicate: Expr) -> Relation:
+    """General NOT EXISTS with an arbitrary correlation predicate
+    (quadratic; used when no pure equi-key form exists)."""
+    schema = left.schema.concat(right.schema)
+    test = predicate.bind(schema)
+    rows = [
+        lr
+        for lr in left.rows
+        if not any(test(lr + rr) for rr in right.rows)
+    ]
+    return Relation(left.schema, rows)
+
+
+# -- set operations -----------------------------------------------------------
+
+
+def _check_union_compatible(a: Relation, b: Relation, op: str) -> None:
+    if a.schema.arity != b.schema.arity:
+        raise ValueError(
+            f"{op}: arity mismatch {a.schema.arity} vs {b.schema.arity}"
+        )
+
+
+def union_all(a: Relation, b: Relation) -> Relation:
+    _check_union_compatible(a, b, "UNION ALL")
+    return Relation(a.schema, list(a.rows) + list(b.rows))
+
+
+def union(a: Relation, b: Relation) -> Relation:
+    _check_union_compatible(a, b, "UNION")
+    return distinct(union_all(a, b))
+
+
+def except_(a: Relation, b: Relation) -> Relation:
+    """Set EXCEPT (distinct result), as in SQL's default EXCEPT — the
+    semantics Listing 1's ``QualifiedSS2PLOps`` relies on."""
+    _check_union_compatible(a, b, "EXCEPT")
+    remove = set(b.rows)
+    seen: set[tuple] = set()
+    rows: list[tuple] = []
+    for row in a.rows:
+        if row in remove or row in seen:
+            continue
+        seen.add(row)
+        rows.append(row)
+    return Relation(a.schema, rows)
+
+
+def except_all(a: Relation, b: Relation) -> Relation:
+    """Bag EXCEPT ALL (each b-row cancels one a-row)."""
+    _check_union_compatible(a, b, "EXCEPT ALL")
+    counts: dict[tuple, int] = {}
+    for row in b.rows:
+        counts[row] = counts.get(row, 0) + 1
+    rows: list[tuple] = []
+    for row in a.rows:
+        pending = counts.get(row, 0)
+        if pending > 0:
+            counts[row] = pending - 1
+        else:
+            rows.append(row)
+    return Relation(a.schema, rows)
+
+
+def intersect(a: Relation, b: Relation) -> Relation:
+    _check_union_compatible(a, b, "INTERSECT")
+    keep = set(b.rows)
+    seen: set[tuple] = set()
+    rows: list[tuple] = []
+    for row in a.rows:
+        if row in keep and row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Relation(a.schema, rows)
+
+
+# -- aggregation ---------------------------------------------------------------
+
+#: name -> (initial factory, step, finalize)
+_AGGREGATES: dict[str, tuple[Callable[[], Any], Callable, Callable]] = {
+    "count": (lambda: 0, lambda acc, v: acc + 1, lambda acc: acc),
+    "sum": (lambda: 0, lambda acc, v: acc + v, lambda acc: acc),
+    "min": (
+        lambda: None,
+        lambda acc, v: v if acc is None or v < acc else acc,
+        lambda acc: acc,
+    ),
+    "max": (
+        lambda: None,
+        lambda acc, v: v if acc is None or v > acc else acc,
+        lambda acc: acc,
+    ),
+    "avg": (
+        lambda: (0, 0),
+        lambda acc, v: (acc[0] + v, acc[1] + 1),
+        lambda acc: acc[0] / acc[1] if acc[1] else None,
+    ),
+}
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregations: Sequence[tuple[str, str, str]],
+) -> Relation:
+    """GROUP BY with the classic aggregates.
+
+    ``aggregations`` is a list of ``(function, input_column, output_name)``
+    where function is one of count/sum/min/max/avg.  ``input_column`` is
+    ignored for ``count`` (pass any column or ``"*"``).
+
+    With an empty ``group_by`` the result is a single global-aggregate row
+    (even over an empty input, as in SQL).
+    """
+    group_pos = [relation.schema.resolve(*_split(g)) for g in group_by]
+    agg_specs = []
+    for fn_name, input_col, output_name in aggregations:
+        if fn_name not in _AGGREGATES:
+            raise ValueError(f"unknown aggregate {fn_name!r}")
+        if fn_name == "count" and input_col == "*":
+            pos = None
+        else:
+            pos = relation.schema.resolve(*_split(input_col))
+        agg_specs.append((fn_name, pos, output_name))
+
+    groups: dict[tuple, list[Any]] = {}
+    for row in relation.rows:
+        key = tuple(row[p] for p in group_pos)
+        accs = groups.get(key)
+        if accs is None:
+            accs = [_AGGREGATES[fn][0]() for fn, __, __ in agg_specs]
+            groups[key] = accs
+        for i, (fn_name, pos, __) in enumerate(agg_specs):
+            value = row[pos] if pos is not None else 1
+            accs[i] = _AGGREGATES[fn_name][1](accs[i], value)
+
+    if not group_pos and not groups:
+        groups[()] = [_AGGREGATES[fn][0]() for fn, __, __ in agg_specs]
+
+    out_schema = Schema(
+        [Column(_split(g)[0]) for g in group_by]
+        + [Column(name) for __, __, name in agg_specs]
+    )
+    rows = [
+        key + tuple(
+            _AGGREGATES[fn][2](acc)
+            for (fn, __, __), acc in zip(agg_specs, accs)
+        )
+        for key, accs in groups.items()
+    ]
+    return Relation(out_schema, rows)
+
+
+def _split(name: str) -> tuple[str, Optional[str]]:
+    """``"alias.col"`` -> ("col", "alias"); ``"col"`` -> ("col", None)."""
+    if "." in name:
+        qualifier, base = name.split(".", 1)
+        return base, qualifier
+    return name, None

@@ -1,0 +1,72 @@
+"""The Relation value: a schema plus rows.
+
+Operators consume and produce :class:`Relation` objects.  Rows are plain
+tuples; the schema maps names to positions.  Relations are *materialized*
+(lists) — the scheduling workloads the paper targets are batches of at
+most a few thousand pending requests per scheduler run, so simplicity and
+cache-friendly list scans beat a fully pipelined iterator model here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.relalg.schema import Schema
+
+
+class Relation:
+    """An immutable (by convention) bag of tuples with a schema."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple]) -> None:
+        self.schema = schema
+        self.rows: list[tuple] = rows if isinstance(rows, list) else list(rows)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(schema, [])
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def column_values(self, name: str, qualifier: str | None = None) -> list:
+        """All values of one column, in row order."""
+        pos = self.schema.resolve(name, qualifier)
+        return [row[pos] for row in self.rows]
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as name->value dicts (uses unqualified names; later
+        duplicate names would overwrite earlier ones — project first)."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in a canonical order — handy for set-style comparisons in
+        tests without imposing an ORDER BY."""
+        return sorted(self.rows, key=repr)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, {len(self.rows)} rows)"
+
+
+def rows_equal_as_bags(a: Sequence[tuple], b: Sequence[tuple]) -> bool:
+    """Bag (multiset) equality of two row collections."""
+    if len(a) != len(b):
+        return False
+    counts: dict[tuple, int] = {}
+    for row in a:
+        counts[row] = counts.get(row, 0) + 1
+    for row in b:
+        remaining = counts.get(row, 0)
+        if remaining == 0:
+            return False
+        counts[row] = remaining - 1
+    return True

@@ -1,0 +1,221 @@
+"""Mutable base tables with hash indexes.
+
+The scheduler's ``requests`` (pending) and ``history`` stores are
+instances of :class:`Table`.  Tables support batch insert/delete — the
+paper empties the incoming queue "as a batch job" into the pending table
+and moves qualified requests into history the same way (Section 3.3) —
+and maintain optional hash indexes used by index-nested-loop joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Column, Schema
+
+
+class TableError(Exception):
+    """Raised for arity mismatches and unknown index columns."""
+
+
+class HashIndex:
+    """Equality hash index over one or more columns of a table."""
+
+    __slots__ = ("positions", "buckets")
+
+    def __init__(self, positions: Sequence[int]) -> None:
+        self.positions = tuple(positions)
+        self.buckets: dict[tuple, list[tuple]] = {}
+
+    def key_of(self, row: tuple) -> tuple:
+        return tuple(row[p] for p in self.positions)
+
+    def add(self, row: tuple) -> None:
+        self.buckets.setdefault(self.key_of(row), []).append(row)
+
+    def remove(self, row: tuple) -> None:
+        key = self.key_of(row)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return
+        if not bucket:
+            del self.buckets[key]
+
+    def lookup(self, key: tuple) -> list[tuple]:
+        return self.buckets.get(key, [])
+
+    def clear(self) -> None:
+        self.buckets.clear()
+
+
+class Table:
+    """A named, mutable bag of rows with a fixed schema.
+
+    >>> t = Table("requests", ["id", "ta", "intrata", "operation", "object"])
+    >>> t.insert((1, 7, 0, "r", 42))
+    >>> len(t)
+    1
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str | Column],
+        rows: Iterable[tuple] = (),
+    ) -> None:
+        self.name = name
+        self.schema = Schema(
+            [c if isinstance(c, Column) else Column(c, name) for c in columns]
+        )
+        self._rows: list[tuple] = []
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        self.insert_many(rows)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        if len(row) != self.schema.arity:
+            raise TableError(
+                f"{self.name}: row arity {len(row)} != schema arity "
+                f"{self.schema.arity}"
+            )
+        tup = tuple(row)
+        self._rows.append(tup)
+        for index in self._indexes.values():
+            index.add(tup)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[tuple], bool]) -> int:
+        """Delete all rows satisfying *predicate*; returns rows removed."""
+        kept: list[tuple] = []
+        removed: list[tuple] = []
+        for row in self._rows:
+            (removed if predicate(row) else kept).append(row)
+        if removed:
+            self._rows = kept
+            self._reindex()
+        return len(removed)
+
+    def delete_rows(self, rows: Iterable[tuple]) -> int:
+        """Bag-delete specific rows (each listed row removes one copy)."""
+        to_remove: dict[tuple, int] = {}
+        for row in rows:
+            to_remove[tuple(row)] = to_remove.get(tuple(row), 0) + 1
+        if not to_remove:
+            return 0
+        kept: list[tuple] = []
+        removed = 0
+        for row in self._rows:
+            pending = to_remove.get(row, 0)
+            if pending > 0:
+                to_remove[row] = pending - 1
+                removed += 1
+            else:
+                kept.append(row)
+        if removed:
+            self._rows = kept
+            self._reindex()
+        return removed
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- indexing ---------------------------------------------------------
+
+    def create_index(self, *column_names: str) -> None:
+        """Create (or refresh) a hash index over the given columns."""
+        positions = [self.schema.resolve(n) for n in column_names]
+        index = HashIndex(positions)
+        for row in self._rows:
+            index.add(row)
+        self._indexes[tuple(column_names)] = index
+
+    def index_on(self, *column_names: str) -> Optional[HashIndex]:
+        return self._indexes.get(tuple(column_names))
+
+    def lookup(self, column_names: Sequence[str], key: Sequence[Any]) -> list[tuple]:
+        """Index lookup; falls back to a scan when no index exists."""
+        index = self._indexes.get(tuple(column_names))
+        if index is not None:
+            return list(index.lookup(tuple(key)))
+        positions = [self.schema.resolve(n) for n in column_names]
+        key_t = tuple(key)
+        return [
+            row
+            for row in self._rows
+            if tuple(row[p] for p in positions) == key_t
+        ]
+
+    def _reindex(self) -> None:
+        for index in self._indexes.values():
+            index.clear()
+            for row in self._rows:
+                index.add(row)
+
+    # -- reading ----------------------------------------------------------
+
+    def as_relation(self, alias: Optional[str] = None) -> Relation:
+        """Snapshot the table as a relation, optionally re-qualified.
+
+        The rows list is shared (copy-on-write discipline: operators never
+        mutate input rows), so snapshots are O(1).
+        """
+        schema = self.schema.qualify(alias) if alias else self.schema
+        return Relation(schema, self._rows)
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self._rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self._rows)} rows)"
+
+
+class Catalog:
+    """A named collection of tables — the scheduler's "database"."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create(self, name: str, columns: Sequence[str | Column]) -> Table:
+        if name in self._tables:
+            raise TableError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(
+                f"unknown table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

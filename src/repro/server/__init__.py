@@ -1,0 +1,43 @@
+"""Simulated single-node DBMS server.
+
+Substitute for the commercial DBMS of the paper's Section 4.2 testbed
+(2.8 GHz single core, 2 GB RAM, database resident in the buffer pool).
+The server provides:
+
+* a **native internal scheduler** — strict two-phase locking with S/X
+  row locks, FIFO wait queues, waits-for deadlock detection and victim
+  abort (:mod:`repro.server.locks`), driving multi-user runs under
+  isolation level serializable (:mod:`repro.server.engine`),
+* a **single-user replay mode** — the paper's lower-bound measurement:
+  the logged statement sequence re-executed under one exclusive table
+  lock (:func:`repro.server.engine.single_user_replay_time`), and
+* a **batch execution interface** used by the external declarative
+  scheduler, which sends pre-scheduled conflict-free batches and expects
+  the server's own scheduling to be bypassed (paper Section 3.3).
+
+All timing flows through a calibrated :class:`~repro.server.costmodel.
+CostModel`; see that module for the calibration rationale.
+"""
+
+from repro.server.locks import LockManager, LockMode, DeadlockError
+from repro.server.costmodel import CostModel, PAPER_CALIBRATION
+from repro.server.database import DataTable
+from repro.server.engine import (
+    BatchServer,
+    MultiUserResult,
+    SimulatedDBMS,
+    single_user_replay_time,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "DeadlockError",
+    "CostModel",
+    "PAPER_CALIBRATION",
+    "DataTable",
+    "BatchServer",
+    "MultiUserResult",
+    "SimulatedDBMS",
+    "single_user_replay_time",
+]

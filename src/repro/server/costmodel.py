@@ -1,0 +1,107 @@
+"""Calibrated cost model for the simulated DBMS.
+
+Calibration anchors come from the paper's own numbers (Section 4.2.2):
+
+* Single-user replay: 550 055 statements in 194 s → 0.353 ms/statement;
+  the 500-client trace replayed 48 267 statements in 15 s → 0.311 ms.
+  We use **0.35 ms** as the bare statement cost (parse+execute+buffer
+  access on the 2.8 GHz core, database memory-resident).
+* Multi-user mode adds the native scheduler's work per statement: lock
+  table access, latching, and per-client context-switch/bookkeeping
+  pressure that grows with the multiprogramming level (the 2 GB machine
+  juggling hundreds of connections).  At 300 clients the paper measured
+  an overhead of 46 s over 550 055 statements ≈ 0.08 ms/statement.
+* Lock *waiting*, deadlock aborts and restarts are not cost-model
+  constants: they **emerge** from the lock-manager simulation.
+* The catastrophic collapse between the paper's 300-client point
+  (ratio 124 %) and its 500-client point (ratio 1600 %) is far larger
+  than uniform row-lock contention alone can produce (with L = 40 locks
+  per transaction over D = 100 000 rows, the analytic deadlock rate
+  N·L⁴/4D² stays small at N = 500).  It is a **multiprogramming-level
+  (MPL) overload** effect of the 2 GB single-core machine — the very
+  phenomenon the paper's cited related work ([20], [21] Schroeder et
+  al.) addresses by *externally* capping the MPL.  We model it as a
+  super-linear per-statement penalty beyond an MPL knee
+  (``thrash_coeff * max(0, clients - mpl_knee)**2``), calibrated so the
+  300- and 500-client anchors land near the paper's ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Virtual-time costs (seconds) for server activities.
+
+    Attributes
+    ----------
+    statement_cost:
+        Bare execution cost of one SELECT/UPDATE, single-user mode.
+    lock_overhead:
+        Added lock-manager CPU per statement in multi-user mode.
+    switch_overhead:
+        Per-statement scheduling/context bookkeeping coefficient; the
+        effective per-statement cost grows by
+        ``switch_overhead * log2(1 + active_clients)``.
+    commit_cost:
+        Cost of a commit (log force etc.), both modes.
+    abort_cost:
+        CPU spent rolling back one *statement* of an aborted transaction.
+    restart_delay:
+        Pause before a deadlock victim restarts.
+    deadlock_check_cost:
+        CPU per waits-for-graph probe (charged on each block).
+    batch_fixed_cost:
+        Fixed per-batch round-trip cost for externally scheduled batch
+        execution (the declarative middleware sends batches; the paper
+        expects "a performance improvement" from batching).
+    mpl_knee, thrash_coeff:
+        MPL-overload model: beyond *mpl_knee* concurrently active
+        clients, each statement pays ``thrash_coeff * (n - knee)**2``
+        extra (memory pressure / paging / convoying on the saturated
+        machine — see module docstring).
+    """
+
+    statement_cost: float = 0.35e-3
+    lock_overhead: float = 0.02e-3
+    switch_overhead: float = 0.004e-3
+    commit_cost: float = 0.5e-3
+    abort_cost: float = 0.05e-3
+    restart_delay: float = 1.0e-3
+    deadlock_check_cost: float = 0.01e-3
+    batch_fixed_cost: float = 1.0e-3
+    mpl_knee: int = 350
+    thrash_coeff: float = 2.0e-7
+
+    def mu_statement_cost(self, active_clients: int) -> float:
+        """Multi-user CPU cost of one statement at the given MPL."""
+        over_knee = max(0, active_clients - self.mpl_knee)
+        return (
+            self.statement_cost
+            + self.lock_overhead
+            + self.switch_overhead * math.log2(1 + max(0, active_clients))
+            + self.thrash_coeff * over_knee * over_knee
+        )
+
+    def su_statement_cost(self) -> float:
+        """Single-user replay cost (exclusive table lock, no row locks)."""
+        return self.statement_cost
+
+    def su_replay_time(self, statements: int, transactions: int = 1) -> float:
+        """Paper's replay processes the whole sequence as a single
+        transaction — one commit at the end."""
+        return statements * self.su_statement_cost() + self.commit_cost * max(
+            1, transactions
+        )
+
+    def batch_execution_time(self, statements: int) -> float:
+        """Server-side time to execute a pre-scheduled, conflict-free
+        batch with the internal scheduler bypassed."""
+        return self.batch_fixed_cost + statements * self.statement_cost
+
+
+#: Default calibration (see module docstring for the derivation).
+PAPER_CALIBRATION = CostModel()

@@ -1,0 +1,61 @@
+"""The server's data: a single table of N rows.
+
+The paper's workload runs "against a single table of 100000 rows" that
+"fitted in the database buffer".  Values are irrelevant to scheduling
+behaviour but we keep an integer value per row (with rollback support)
+so application-specific consistency examples (e.g. non-negative
+inventory) have real state to constrain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class DataTable:
+    """An integer-keyed row store with per-transaction undo logs."""
+
+    def __init__(self, rows: int, initial_value: int = 0) -> None:
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        self.rows = rows
+        self._initial = initial_value
+        self._values: dict[int, int] = {}
+        self._undo: dict[int, list[tuple[int, int]]] = {}
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise KeyError(f"row {row} out of range 0..{self.rows - 1}")
+
+    def read(self, row: int) -> int:
+        self._check(row)
+        return self._values.get(row, self._initial)
+
+    def write(self, row: int, value: int, ta: Optional[int] = None) -> None:
+        """Write a value; when *ta* is given the old value is undo-logged
+        so :meth:`rollback` can restore it."""
+        self._check(row)
+        if ta is not None:
+            self._undo.setdefault(ta, []).append((row, self.read(row)))
+        self._values[row] = value
+
+    def update(self, row: int, delta: int, ta: Optional[int] = None) -> int:
+        """Relative update (the workload's UPDATE statement); returns the
+        new value."""
+        new_value = self.read(row) + delta
+        self.write(row, new_value, ta=ta)
+        return new_value
+
+    def commit(self, ta: int) -> None:
+        self._undo.pop(ta, None)
+
+    def rollback(self, ta: int) -> int:
+        """Undo the transaction's writes (reverse order); returns the
+        number of undone writes."""
+        log = self._undo.pop(ta, [])
+        for row, old_value in reversed(log):
+            self._values[row] = old_value
+        return len(log)
+
+    def snapshot(self, rows: Iterable[int]) -> dict[int, int]:
+        return {row: self.read(row) for row in rows}

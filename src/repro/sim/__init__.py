@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+The paper's experiments ran against a commercial DBMS on a 2.8 GHz
+single-core machine for wall-clock 240 s windows.  We reproduce the
+*timing structure* of those experiments on a virtual clock: the simulated
+server in :mod:`repro.server` schedules CPU bursts, lock waits and context
+switches as events on this kernel, so experiments are deterministic,
+fast, and independent of the host machine.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.clock import VirtualClock
+from repro.sim.simulator import Process, Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "VirtualClock",
+    "Process",
+    "Simulator",
+    "RandomStreams",
+]

@@ -1,0 +1,44 @@
+"""Virtual clock.
+
+Kept separate from the simulator so components (metrics, stores, trigger
+policies) can depend on "a thing that tells the time" without knowing
+whether they run under simulation or wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self._now}")
+        self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative time step: {dt}")
+        self._now += dt
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class WallClock:
+    """Adapter with the same interface backed by the host's monotonic
+    clock — used when measuring *real* query-evaluation times (the
+    declarative-overhead experiment measures actual Python query cost)."""
+
+    @property
+    def now(self) -> float:
+        return _time.perf_counter()

@@ -1,0 +1,112 @@
+"""The event-driven simulator loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventQueue
+
+
+class Process:
+    """Handle for a logical simulated actor (a client, the server CPU).
+
+    Processes are lightweight labels used for tracing; behaviour lives in
+    the callbacks they schedule.
+    """
+
+    __slots__ = ("name", "simulator")
+
+    def __init__(self, name: str, simulator: "Simulator") -> None:
+        self.name = name
+        self.simulator = simulator
+
+    def schedule(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        return self.simulator.schedule(delay, action, label=label or self.name)
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r})"
+
+
+class Simulator:
+    """Minimal deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print(sim.now))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = VirtualClock(start_time)
+        self.queue = EventQueue()
+        self._running = False
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    def process(self, name: str) -> Process:
+        return Process(name, self)
+
+    def schedule(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule *action* to run *delay* virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.queue.push(self.now + delay, action, label=label)
+
+    def schedule_at(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule *action* at absolute virtual time *time* (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, action, label=label)
+
+    def cancel(self, event: Event) -> None:
+        self.queue.cancel(event)
+
+    def step(self) -> bool:
+        """Process one event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._event_count += 1
+        event.action()
+        return True
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> float:
+        """Run events with time <= *end_time*; clock lands on
+        min(end_time, last event time).  Returns the final clock value."""
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if self.now < end_time and self.queue.peek_time() is None:
+            # Idle until the horizon — conventionally advance the clock.
+            self.clock.advance_to(end_time)
+        elif self.now < end_time:
+            self.clock.advance_to(end_time)
+        return self.now
+
+    def run_to_completion(self, max_events: int = 50_000_000) -> float:
+        """Drain the queue completely (bounded by *max_events*)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a runaway event loop"
+                )
+        return self.now

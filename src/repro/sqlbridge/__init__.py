@@ -1,0 +1,14 @@
+"""sqlite3 backend: executes the paper's literal Listing 1 SQL.
+
+The paper ran its SS2PL query on a commercial DBMS.  Python's bundled
+sqlite3 is our stand-in real SQL engine: it executes the Listing 1 text
+verbatim (modulo one keyword-quoting tweak), which gives us
+
+* a cross-check that the relalg and Datalog formulations compute the
+  same qualified sets as a production SQL engine, and
+* an independent backend for the language-ablation bench (E8).
+"""
+
+from repro.sqlbridge.bridge import SqliteScheduler
+
+__all__ = ["SqliteScheduler"]

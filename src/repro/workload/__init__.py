@@ -1,0 +1,33 @@
+"""Workload generation: the paper's OLTP workload and extensions.
+
+Section 4.2.1 defines the evaluation workload: "transactions with 20
+SELECT and 20 UPDATE statements against a single table of 100000 rows.
+Each statement affected exactly one random row, with a uniform
+probability for each row."  :class:`WorkloadSpec` captures those knobs
+(and optional Zipf skew / different mixes for the ablations), and the
+generators below produce statement sequences, request streams for the
+middleware scheduler, and SLA-tiered client populations.
+"""
+
+from repro.workload.spec import WorkloadSpec, PAPER_WORKLOAD
+from repro.workload.generator import (
+    StatementProfile,
+    TransactionFactory,
+    request_stream,
+)
+from repro.workload.clients import ClientPopulation, ClientProfile, SLA_TIERS
+from repro.workload.traces import Trace, record_trace, replay_statement_count
+
+__all__ = [
+    "WorkloadSpec",
+    "PAPER_WORKLOAD",
+    "StatementProfile",
+    "TransactionFactory",
+    "request_stream",
+    "ClientPopulation",
+    "ClientProfile",
+    "SLA_TIERS",
+    "Trace",
+    "record_trace",
+    "replay_statement_count",
+]

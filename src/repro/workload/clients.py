@@ -1,0 +1,103 @@
+"""Client populations with SLA tiers.
+
+The paper motivates SLAs with "premium vs. free customers in Web
+applications" (Section 1).  A :class:`ClientPopulation` assigns each
+simulated client a :class:`ClientProfile` so SLA-aware protocols can
+differentiate them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.request import RequestAttributes
+
+
+@dataclass(frozen=True, slots=True)
+class ClientProfile:
+    """A service tier: a name, a scheduling priority, and an optional
+    relative response-time target (used for SLA-violation accounting)."""
+
+    name: str
+    priority: int
+    response_target: Optional[float] = None
+    share: float = 1.0
+
+
+#: Conventional two-tier split used in the SLA experiments.
+SLA_TIERS: tuple[ClientProfile, ...] = (
+    ClientProfile(name="premium", priority=10, response_target=0.5, share=0.2),
+    ClientProfile(name="free", priority=1, response_target=5.0, share=0.8),
+)
+
+
+class ClientPopulation:
+    """Deterministic assignment of tiers to client indices.
+
+    Tiers are interleaved proportionally to their ``share`` so any prefix
+    of clients approximates the target mix (useful when sweeping client
+    counts).
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence[ClientProfile] = SLA_TIERS,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not tiers:
+            raise ValueError("at least one tier required")
+        total = sum(t.share for t in tiers)
+        if total <= 0:
+            raise ValueError("tier shares must sum to a positive value")
+        self.tiers = tuple(tiers)
+        self._weights = [t.share / total for t in tiers]
+        self._rng = rng
+
+    def profile_for(self, client_index: int) -> ClientProfile:
+        """Tier of the given client (deterministic unless an RNG was
+        supplied, in which case assignment is random per call)."""
+        if self._rng is not None:
+            return self._rng.choices(self.tiers, weights=self._weights)[0]
+        # Deterministic proportional interleaving: tier j owns client i
+        # when adding client i advances floor(cumulative_weight_j * n)
+        # for j — i.e. largest-remainder apportionment, so any prefix of
+        # clients matches the target mix within one client per tier.
+        n = client_index + 1
+        previous_counts = self._apportion(client_index)
+        new_counts = self._apportion(n)
+        for tier, before, after in zip(self.tiers, previous_counts, new_counts):
+            if after > before:
+                return tier
+        return self.tiers[-1]
+
+    def _apportion(self, n: int) -> list[int]:
+        """Target client counts per tier for a population of size n."""
+        acc = 0.0
+        boundaries: list[int] = []
+        for weight in self._weights:
+            acc += weight
+            boundaries.append(int(round(acc * n)))
+        counts: list[int] = []
+        previous = 0
+        for boundary in boundaries:
+            counts.append(boundary - previous)
+            previous = boundary
+        return counts
+
+    def attributes_for(self, client_index: int) -> RequestAttributes:
+        profile = self.profile_for(client_index)
+        return RequestAttributes(
+            client_id=client_index,
+            sla_class=profile.name,
+            priority=profile.priority,
+            deadline=None,
+        )
+
+    def counts(self, clients: int) -> dict[str, int]:
+        """How many of the first *clients* clients land in each tier."""
+        out: dict[str, int] = {t.name: 0 for t in self.tiers}
+        for index in range(clients):
+            out[self.profile_for(index).name] += 1
+        return out

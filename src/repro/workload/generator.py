@@ -1,0 +1,188 @@
+"""Transaction and request-stream generators."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.model.request import NO_OBJECT, Operation, Request, RequestAttributes
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True, slots=True)
+class StatementProfile:
+    """One statement of a transaction profile: operation + target row."""
+
+    operation: Operation
+    obj: int
+
+
+class _ZipfSampler:
+    """Zipf(θ) sampler over 0..n-1 via inverse-CDF on precomputed weights.
+
+    Used only for skewed ablation workloads, so an O(log n) bisect per
+    sample over a precomputed prefix array is fine.
+    """
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if theta <= 0:
+            raise ValueError("zipf theta must be positive")
+        self._rng = rng
+        weights = [1.0 / math.pow(rank + 1, theta) for rank in range(n)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        self._cumulative = cumulative
+
+    def sample(self) -> int:
+        import bisect
+
+        u = self._rng.random()
+        return bisect.bisect_left(self._cumulative, u)
+
+
+class TransactionFactory:
+    """Generates transaction *profiles* (statement sequences) per spec.
+
+    The factory is deterministic given its RNG; the simulated server and
+    the middleware experiments both draw from it so MU/SU comparisons and
+    native-vs-declarative comparisons see identical workloads.
+    """
+
+    def __init__(self, spec: WorkloadSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self._rng = rng
+        self._zipf = (
+            _ZipfSampler(spec.table_rows, spec.zipf_theta, rng)
+            if spec.zipf_theta is not None
+            else None
+        )
+
+    def _sample_object(self) -> int:
+        if self._zipf is not None:
+            return self._zipf.sample()
+        return self._rng.randrange(self.spec.table_rows)
+
+    def _sample_objects(self, count: int) -> list[int]:
+        if not self.spec.distinct_objects:
+            return [self._sample_object() for __ in range(count)]
+        chosen: set[int] = set()
+        while len(chosen) < count:
+            chosen.add(self._sample_object())
+        objects = list(chosen)
+        self._rng.shuffle(objects)
+        return objects
+
+    def next_profile(self) -> list[StatementProfile]:
+        """One transaction's data-access statements, in program order."""
+        spec = self.spec
+        total = spec.statements_per_txn
+        objects = self._sample_objects(total)
+        operations = [Operation.READ] * spec.reads_per_txn + [
+            Operation.WRITE
+        ] * spec.writes_per_txn
+        if spec.interleave == "shuffled":
+            self._rng.shuffle(operations)
+        elif spec.interleave == "alternating":
+            operations = _alternate(spec.reads_per_txn, spec.writes_per_txn)
+        # reads_first: keep as constructed.
+        return [
+            StatementProfile(op, obj) for op, obj in zip(operations, objects)
+        ]
+
+
+def _alternate(reads: int, writes: int) -> list[Operation]:
+    out: list[Operation] = []
+    r, w = reads, writes
+    while r or w:
+        if r:
+            out.append(Operation.READ)
+            r -= 1
+        if w:
+            out.append(Operation.WRITE)
+            w -= 1
+    return out
+
+
+def request_stream(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    clients: int,
+    transactions_per_client: Optional[int] = None,
+    attrs_for_client=None,
+    start_ta: int = 1,
+    start_id: int = 1,
+) -> Iterator[Request]:
+    """Yield the requests of a closed population of clients, round-robin.
+
+    Each client runs transactions back-to-back; the stream interleaves
+    clients one request at a time, which is how concurrent submissions
+    reach the middleware's incoming queue.  ``attrs_for_client`` maps a
+    client index to :class:`RequestAttributes` (for SLA experiments).
+
+    The stream is infinite unless ``transactions_per_client`` is given.
+    """
+    ids = itertools.count(start_id)
+    tas = itertools.count(start_ta)
+
+    class _ClientState:
+        __slots__ = ("factory", "pending", "remaining", "attrs")
+
+        def __init__(self, index: int) -> None:
+            child = random.Random(rng.randrange(2**63))
+            self.factory = TransactionFactory(spec, child)
+            #: queued (ta, intrata, operation, obj) — IDs are assigned at
+            #: emission so the stream's ID order is arrival order (the
+            #: paper's "consecutive request number").
+            self.pending: list[tuple] = []
+            self.remaining = transactions_per_client
+            self.attrs = (
+                attrs_for_client(index)
+                if attrs_for_client is not None
+                else RequestAttributes(client_id=index)
+            )
+
+        def refill(self) -> bool:
+            if self.remaining is not None:
+                if self.remaining <= 0:
+                    return False
+                self.remaining -= 1
+            ta = next(tas)
+            profile = self.factory.next_profile()
+            self.pending = [
+                (ta, i, stmt.operation, stmt.obj)
+                for i, stmt in enumerate(profile)
+            ]
+            self.pending.append(
+                (ta, len(profile), Operation.COMMIT, NO_OBJECT)
+            )
+            return True
+
+        def emit(self) -> Request:
+            ta, intrata, operation, obj = self.pending.pop(0)
+            return Request(
+                id=next(ids),
+                ta=ta,
+                intrata=intrata,
+                operation=operation,
+                obj=obj,
+                attrs=self.attrs,
+            )
+
+    states = [_ClientState(i) for i in range(clients)]
+    live = list(range(clients))
+    while live:
+        next_live: list[int] = []
+        for index in live:
+            state = states[index]
+            if not state.pending and not state.refill():
+                continue
+            yield state.emit()
+            next_live.append(index)
+        live = next_live

@@ -1,0 +1,69 @@
+"""Workload specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Parameters of an OLTP-style workload.
+
+    Attributes
+    ----------
+    reads_per_txn, writes_per_txn:
+        Number of SELECT / UPDATE statements per transaction.
+    table_rows:
+        Size of the single target table (objects are row numbers).
+    zipf_theta:
+        ``None`` for the paper's uniform row choice; otherwise the theta
+        of a Zipf(θ) distribution over rows (hot-spot ablations).
+    interleave:
+        ``"shuffled"`` mixes reads and writes randomly within the
+        transaction (default), ``"reads_first"`` issues all reads then
+        all writes, ``"alternating"`` alternates r/w.
+    distinct_objects:
+        When True (default), a transaction touches each object at most
+        once — the paper's Listing 1 "assume[s] that each transaction
+        accesses an object only once".
+    """
+
+    reads_per_txn: int = 20
+    writes_per_txn: int = 20
+    table_rows: int = 100_000
+    zipf_theta: Optional[float] = None
+    interleave: str = "shuffled"
+    distinct_objects: bool = True
+
+    def __post_init__(self) -> None:
+        if self.reads_per_txn < 0 or self.writes_per_txn < 0:
+            raise ValueError("statement counts must be non-negative")
+        if self.reads_per_txn + self.writes_per_txn == 0:
+            raise ValueError("a transaction needs at least one statement")
+        if self.table_rows <= 0:
+            raise ValueError("table_rows must be positive")
+        if self.interleave not in ("shuffled", "reads_first", "alternating"):
+            raise ValueError(f"unknown interleave mode {self.interleave!r}")
+        if (
+            self.distinct_objects
+            and self.reads_per_txn + self.writes_per_txn > self.table_rows
+        ):
+            raise ValueError(
+                "distinct_objects requires table_rows >= statements per txn"
+            )
+
+    @property
+    def statements_per_txn(self) -> int:
+        return self.reads_per_txn + self.writes_per_txn
+
+
+#: The exact workload of the paper's Section 4.2.1.
+PAPER_WORKLOAD = WorkloadSpec(
+    reads_per_txn=20,
+    writes_per_txn=20,
+    table_rows=100_000,
+    zipf_theta=None,
+    interleave="shuffled",
+    distinct_objects=True,
+)

@@ -1,0 +1,65 @@
+"""Trace recording and single-user replay accounting.
+
+The paper's method (Section 4.1): "In a separate run, we also logged the
+produced schedule.  We then reran this schedule with a single concurrent
+transaction, and locking disabled as much as possible."  A
+:class:`Trace` is that logged schedule; :func:`replay_statement_count`
+extracts what the single-user rerun needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.model.request import Operation, Request
+
+
+@dataclass
+class Trace:
+    """An executed-statement log with timestamps."""
+
+    entries: list[tuple[float, Request]] = field(default_factory=list)
+
+    def record(self, time: float, request: Request) -> None:
+        self.entries.append((time, request))
+
+    @property
+    def requests(self) -> list[Request]:
+        return [request for __, request in self.entries]
+
+    def statement_count(self, committed_only: bool = False) -> int:
+        """Number of data-access statements in the trace."""
+        if not committed_only:
+            return sum(
+                1 for __, r in self.entries if r.operation.is_data_access
+            )
+        committed = {
+            r.ta for __, r in self.entries if r.operation is Operation.COMMIT
+        }
+        return sum(
+            1
+            for __, r in self.entries
+            if r.operation.is_data_access and r.ta in committed
+        )
+
+    def __iter__(self) -> Iterator[tuple[float, Request]]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def record_trace(requests: Iterable[Request], times: Iterable[float]) -> Trace:
+    """Zip requests with completion times into a trace."""
+    trace = Trace()
+    for time, request in zip(times, requests):
+        trace.record(time, request)
+    return trace
+
+
+def replay_statement_count(trace: Trace) -> int:
+    """Statements the single-user replay must process — the paper replays
+    the full logged sequence (committed work; the native run's aborted
+    work does not appear in the produced schedule)."""
+    return trace.statement_count(committed_only=True)

@@ -1,0 +1,69 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.request import Operation, Request
+from repro.relalg.table import Table
+
+REQUEST_COLUMNS = ["id", "ta", "intrata", "operation", "object"]
+
+
+def empty_requests_table() -> Table:
+    return Table("requests", REQUEST_COLUMNS)
+
+
+def empty_history_table() -> Table:
+    return Table("history", REQUEST_COLUMNS)
+
+
+def random_scheduling_instance(
+    rng: random.Random,
+    pending: int = 15,
+    history_transactions: int = 10,
+    objects: int = 30,
+    finished_probability: float = 0.3,
+    pending_ops_per_txn: int = 1,
+) -> tuple[Table, Table]:
+    """A random (requests, history) pair in Table 2 schema.
+
+    History transactions execute 1-4 random operations each and finish
+    (commit/abort) with the given probability; pending requests belong
+    to fresh transactions.
+    """
+    requests = empty_requests_table()
+    history = empty_history_table()
+    rid = 1
+    for ta in range(1, history_transactions + 1):
+        op_count = rng.randint(1, 4)
+        for intrata in range(op_count):
+            history.insert(
+                (rid, ta, intrata, rng.choice(["r", "w"]), rng.randrange(objects))
+            )
+            rid += 1
+        if rng.random() < finished_probability:
+            history.insert((rid, ta, op_count, rng.choice(["c", "a"]), -1))
+            rid += 1
+    for k in range(pending):
+        ta = history_transactions + 1 + k
+        for intrata in range(pending_ops_per_txn):
+            requests.insert(
+                (rid, ta, intrata, rng.choice(["r", "w"]), rng.randrange(objects))
+            )
+            rid += 1
+    return requests, history
+
+
+def request(
+    rid: int, ta: int, intrata: int, op: str, obj: int = -1
+) -> Request:
+    """Terse request constructor for tests."""
+    return Request(rid, ta, intrata, Operation.from_code(op), obj)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,112 @@
+"""Imperative baseline and the related-approach catalogue."""
+
+from repro.baselines.imperative import ImperativeSS2PLScheduler
+from repro.baselines.related import (
+    PAPER_TABLE1,
+    RELATED_APPROACHES,
+    table1_rows,
+)
+from repro.model.request import Operation, Request, RequestAttributes
+
+from tests.conftest import (
+    empty_history_table,
+    empty_requests_table,
+    request,
+)
+
+
+class TestImperativeBaseline:
+    def test_simple_grant(self):
+        requests = empty_requests_table()
+        requests.insert(request(1, 1, 0, "r", 5).as_row())
+        decision = ImperativeSS2PLScheduler().schedule(
+            requests, empty_history_table()
+        )
+        assert [r.id for r in decision.qualified] == [1]
+
+    def test_denial_reasons_attributed(self):
+        requests = empty_requests_table()
+        history = empty_history_table()
+        history.insert(request(1, 1, 0, "w", 5).as_row())
+        requests.insert(request(2, 2, 0, "r", 5).as_row())
+        decision = ImperativeSS2PLScheduler().schedule(requests, history)
+        assert decision.qualified == []
+        assert decision.denials[2] == "write lock held"
+
+    def test_has_no_declarative_source(self):
+        assert ImperativeSS2PLScheduler().declarative_source is None
+        assert ImperativeSS2PLScheduler().spec_line_count() == 0
+
+
+def _tiered_queue():
+    def req(rid, ta, op, obj, priority):
+        return Request(
+            rid, ta, 0, op, obj,
+            attrs=RequestAttributes(priority=priority),
+        )
+
+    return [
+        req(1, 1, Operation.WRITE, 5, priority=1),
+        req(2, 2, Operation.READ, 6, priority=9),
+        req(3, 3, Operation.READ, 7, priority=1),
+        req(4, 4, Operation.WRITE, 5, priority=9),
+    ]
+
+
+class TestRelatedPolicies:
+    def test_all_policies_respect_capacity(self):
+        queue = _tiered_queue()
+        for approach in RELATED_APPROACHES:
+            out = approach.policy(queue, 2)
+            assert len(out) <= 2, approach.name
+            assert all(r in queue for r in out), approach.name
+
+    def test_qos_approaches_prefer_priority(self):
+        queue = _tiered_queue()
+        for approach in RELATED_APPROACHES:
+            if not approach.capabilities.qos:
+                continue
+            out = approach.policy(queue, 2)
+            assert out[0].attrs.priority == 9, approach.name
+
+    def test_ganymed_puts_updates_first(self):
+        approach = next(a for a in RELATED_APPROACHES if a.name == "Ganymed")
+        out = approach.policy(_tiered_queue(), 4)
+        kinds = [r.is_write for r in out]
+        assert kinds == sorted(kinds, reverse=True)
+
+    def test_qshuffler_groups_by_object(self):
+        approach = next(
+            a for a in RELATED_APPROACHES if a.name == "QShuffler"
+        )
+        out = approach.policy(_tiered_queue(), 4)
+        objects = [r.obj for r in out]
+        assert objects == sorted(objects)
+
+    def test_cjdbc_is_fifo(self):
+        approach = next(a for a in RELATED_APPROACHES if a.name == "C-JDBC")
+        out = approach.policy(_tiered_queue(), 3)
+        assert [r.id for r in out] == [1, 2, 3]
+
+
+class TestTable1:
+    def test_vectors_match_paper(self):
+        for approach in RELATED_APPROACHES:
+            assert approach.capabilities.as_row() == PAPER_TABLE1[approach.name], (
+                approach.name
+            )
+
+    def test_no_related_approach_is_declarative(self):
+        # The paper's point: the D column is all minus except our system.
+        for approach in RELATED_APPROACHES:
+            assert not approach.capabilities.declarative
+
+    def test_rows_include_ours(self):
+        rows = table1_rows(include_ours=True)
+        assert len(rows) == len(RELATED_APPROACHES) + 1
+        ours = rows[-1]
+        assert ours[1:] == ("+", "+", "+", "+", "+")
+
+    def test_rows_without_ours(self):
+        rows = table1_rows(include_ours=False)
+        assert len(rows) == len(RELATED_APPROACHES)

@@ -1,0 +1,208 @@
+"""Semi-naive evaluation: joins, negation, recursion, aggregates."""
+
+import pytest
+
+from repro.datalog.engine import Database, evaluate, query
+from repro.datalog.program import Program
+
+
+def run(source: str, facts: dict[str, list[tuple]], goal: str) -> set[tuple]:
+    program = Program.parse(source)
+    db = Database()
+    for pred, rows in facts.items():
+        db.add_facts(pred, rows)
+    return query(program, db, goal)
+
+
+class TestBasics:
+    def test_facts_in_program(self):
+        assert run("p(1). p(2).", {}, "p") == {(1,), (2,)}
+
+    def test_join_on_shared_variable(self):
+        out = run(
+            "grand(X, Z) :- parent(X, Y), parent(Y, Z).",
+            {"parent": [("a", "b"), ("b", "c"), ("b", "d")]},
+            "grand",
+        )
+        assert out == {("a", "c"), ("a", "d")}
+
+    def test_constants_filter(self):
+        out = run(
+            'locked(O) :- history(_, _, "w", O).',
+            {"history": [(1, 1, "w", 5), (2, 1, "r", 6)]},
+            "locked",
+        )
+        assert out == {(5,)}
+
+    def test_repeated_variable_in_atom(self):
+        out = run(
+            "loop(X) :- edge(X, X).",
+            {"edge": [(1, 1), (1, 2), (3, 3)]},
+            "loop",
+        )
+        assert out == {(1,), (3,)}
+
+    def test_comparisons(self):
+        out = run(
+            "older(X) :- age(X, A), A >= 30.",
+            {"age": [("ann", 25), ("bob", 30), ("cyd", 41)]},
+            "older",
+        )
+        assert out == {("bob",), ("cyd",)}
+
+    def test_mixed_type_comparison_is_false_not_fatal(self):
+        out = run(
+            "p(X) :- q(X, V), V > 3.",
+            {"q": [(1, "not-a-number"), (2, 5)]},
+            "p",
+        )
+        assert out == {(2,)}
+
+    def test_anonymous_variables_match_anything(self):
+        out = run(
+            "seen(T) :- history(_, T, _).",
+            {"history": [(1, 10, "x"), (2, 11, "y")]},
+            "seen",
+        )
+        assert out == {(10,), (11,)}
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        out = run(
+            """
+            finished(T) :- history(T, done).
+            active(T) :- history(T, _), not finished(T).
+            """,
+            {"history": [(1, "open"), (2, "done"), (2, "open")]},
+            "active",
+        )
+        assert out == {(1,)}
+
+    def test_negation_with_constants(self):
+        out = run(
+            "nonzero(X) :- num(X), not zero(X).",
+            {"num": [(0,), (1,), (2,)], "zero": [(0,)]},
+            "nonzero",
+        )
+        assert out == {(1,), (2,)}
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        out = run(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """,
+            {"edge": [(1, 2), (2, 3), (3, 4)]},
+            "path",
+        )
+        assert out == {
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)
+        }
+
+    def test_cyclic_graph_terminates(self):
+        out = run(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """,
+            {"edge": [(1, 2), (2, 1)]},
+            "path",
+        )
+        assert out == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_mutual_recursion(self):
+        out = run(
+            """
+            even(X) :- zero(X).
+            even(Y) :- odd(X), succ(X, Y).
+            odd(Y) :- even(X), succ(X, Y).
+            """,
+            {"zero": [(0,)], "succ": [(i, i + 1) for i in range(6)]},
+            "even",
+        )
+        assert out == {(0,), (2,), (4,), (6,)}
+
+    def test_linear_chain_depth(self):
+        n = 60
+        out = run(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            """,
+            {"start": [(0,)], "edge": [(i, i + 1) for i in range(n)]},
+            "reach",
+        )
+        assert len(out) == n + 1
+
+
+class TestAggregates:
+    def test_count_per_group(self):
+        out = run(
+            "n(G, count(X)) :- item(G, X).",
+            {"item": [("a", 1), ("a", 2), ("b", 9)]},
+            "n",
+        )
+        assert out == {("a", 2), ("b", 1)}
+
+    def test_count_is_distinct_per_group(self):
+        out = run(
+            "n(G, count(X)) :- item(G, X).",
+            {"item": [("a", 1), ("a", 1)]},
+            "n",
+        )
+        assert out == {("a", 1)}
+
+    def test_sum_min_max(self):
+        facts = {"item": [("a", 1), ("a", 4), ("b", 9)]}
+        assert run("s(G, sum(X)) :- item(G, X).", facts, "s") == {
+            ("a", 5), ("b", 9)
+        }
+        assert run("m(G, min(X)) :- item(G, X).", facts, "m") == {
+            ("a", 1), ("b", 9)
+        }
+        assert run("m(G, max(X)) :- item(G, X).", facts, "m") == {
+            ("a", 4), ("b", 9)
+        }
+
+    def test_aggregate_feeds_downstream_rule(self):
+        out = run(
+            """
+            n(G, count(X)) :- item(G, X).
+            busy(G) :- n(G, N), N >= 2.
+            """,
+            {"item": [("a", 1), ("a", 2), ("b", 1)]},
+            "busy",
+        )
+        assert out == {("a",)}
+
+
+class TestDatabase:
+    def test_add_fact_dedup(self):
+        db = Database()
+        assert db.add_fact("p", (1,))
+        assert not db.add_fact("p", (1,))
+        assert db.facts("p") == {(1,)}
+
+    def test_copy_is_independent(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        clone = db.copy()
+        clone.add_fact("p", (2,))
+        assert db.facts("p") == {(1,)}
+
+    def test_index_consistency_after_mutation(self):
+        db = Database()
+        db.add_facts("p", [(1, "a"), (2, "b")])
+        assert db.index("p", (1,))[("a",)] == [(1, "a")]
+        db.add_fact("p", (3, "a"))
+        buckets = db.index("p", (1,))
+        assert sorted(buckets[("a",)]) == [(1, "a"), (3, "a")]
+
+    def test_contains(self):
+        db = Database()
+        db.add_fact("p", (1,))
+        assert ("p", (1,)) in db
+        assert ("p", (2,)) not in db

@@ -1,0 +1,110 @@
+"""Datalog lexer/parser tests."""
+
+import pytest
+
+from repro.datalog.ast import Aggregate, Comparison, Const, Literal, Var
+from repro.datalog.parser import DatalogSyntaxError, parse_program, parse_rule
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("edge(1, 2).")
+        assert rule.is_fact
+        assert rule.head.pred == "edge"
+        assert rule.head.terms == (Const(1), Const(2))
+
+    def test_simple_rule(self):
+        rule = parse_rule("path(X, Y) :- edge(X, Y).")
+        assert not rule.is_fact
+        assert len(rule.positive_literals) == 1
+        assert rule.head.variables == {Var("X"), Var("Y")}
+
+    def test_negation(self):
+        rule = parse_rule("active(T) :- txn(T), not finished(T).")
+        assert len(rule.negative_literals) == 1
+        assert rule.negative_literals[0].atom.pred == "finished"
+
+    def test_comparison(self):
+        rule = parse_rule("big(X) :- value(X, V), V > 10.")
+        comparisons = rule.comparisons
+        assert len(comparisons) == 1
+        assert comparisons[0].op == ">"
+        assert comparisons[0].right == Const(10)
+
+    def test_all_comparison_operators(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            rule = parse_rule(f"p(X) :- q(X, Y), X {op} Y.")
+            assert rule.comparisons[0].op == op
+
+    def test_string_constants(self):
+        rule = parse_rule('locked(O) :- history(_, _, _, "w", O).')
+        assert Const("w") in rule.positive_literals[0].atom.terms
+
+    def test_string_escapes(self):
+        rule = parse_rule('p(X) :- q(X, "a\\"b").')
+        assert Const('a"b') in rule.positive_literals[0].atom.terms
+
+    def test_negative_numbers_and_floats(self):
+        rule = parse_rule("p(-1, 2.5).")
+        assert rule.head.terms == (Const(-1), Const(2.5))
+
+    def test_lowercase_ident_is_symbol_constant(self):
+        rule = parse_rule("p(X) :- q(X, foo).")
+        assert Const("foo") in rule.positive_literals[0].atom.terms
+
+    def test_anonymous_variable(self):
+        rule = parse_rule("p(X) :- q(X, _, _).")
+        atom = rule.positive_literals[0].atom
+        assert sum(1 for t in atom.terms if isinstance(t, Var) and t.is_anonymous) == 2
+        assert atom.variables == {Var("X")}
+
+    def test_head_aggregate(self):
+        rule = parse_rule("n(G, count(X)) :- item(G, X).")
+        aggs = rule.head.aggregates
+        assert len(aggs) == 1
+        assert aggs[0] == Aggregate("count", Var("X"))
+        assert rule.has_aggregates
+
+
+class TestPrograms:
+    def test_multiple_rules_and_comments(self):
+        rules = parse_program(
+            """
+            % transitive closure
+            path(X, Y) :- edge(X, Y).
+            # another comment style
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        assert len(rules) == 2
+
+    def test_str_roundtrips_through_parser(self):
+        source = 'p(X) :- q(X, Y), not r(Y), X > 3, s(X, "lit").'
+        rule = parse_rule(source)
+        assert str(parse_rule(str(rule))) == str(rule)
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(DatalogSyntaxError, match="expected DOT"):
+            parse_rule("p(X) :- q(X)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError, match="unexpected character"):
+            parse_program("p(X) :- q(X) & r(X).")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_program("p(1).\nbroken(")
+        except DatalogSyntaxError as error:
+            assert error.line == 2
+        else:
+            raise AssertionError("expected syntax error")
+
+    def test_trailing_garbage_on_single_rule(self):
+        with pytest.raises(DatalogSyntaxError, match="trailing"):
+            parse_rule("p(1). q(2).")
+
+    def test_comparison_needs_terms(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- X > .")

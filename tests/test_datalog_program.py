@@ -1,0 +1,109 @@
+"""Safety validation and stratification."""
+
+import pytest
+
+from repro.datalog.program import (
+    Program,
+    SafetyError,
+    StratificationError,
+)
+
+
+class TestSafety:
+    def test_unbound_head_variable(self):
+        with pytest.raises(SafetyError, match="head variables"):
+            Program.parse("p(X, Y) :- q(X).")
+
+    def test_unbound_negation_variable(self):
+        with pytest.raises(SafetyError, match="negated literal"):
+            Program.parse("p(X) :- q(X), not r(Y).")
+
+    def test_unbound_comparison_variable(self):
+        with pytest.raises(SafetyError, match="comparison"):
+            Program.parse("p(X) :- q(X), X > Y.")
+
+    def test_constants_are_always_safe(self):
+        Program.parse("p(1, 2).")  # no exception
+
+    def test_anonymous_vars_do_not_bind(self):
+        # _ in a positive literal does not make X bound.
+        with pytest.raises(SafetyError):
+            Program.parse("p(X) :- q(_).")
+
+    def test_aggregate_variable_must_be_bound(self):
+        with pytest.raises(SafetyError):
+            Program.parse("n(G, count(X)) :- item(G).")
+
+
+class TestStratification:
+    def test_simple_negation_two_strata(self):
+        program = Program.parse(
+            """
+            finished(T) :- history(T, done).
+            active(T) :- history(T, _), not finished(T).
+            """
+        )
+        strata = program.strata
+        assert {"finished"} in strata and {"active"} in strata
+        assert strata.index({"finished"}) < strata.index({"active"})
+
+    def test_recursion_in_one_stratum(self):
+        program = Program.parse(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        assert program.strata == [{"path"}]
+
+    def test_negation_through_recursion_rejected(self):
+        with pytest.raises(StratificationError):
+            Program.parse(
+                """
+                win(X) :- move(X, Y), not win(Y).
+                """
+            )
+
+    def test_direct_negative_self_dependency_rejected(self):
+        with pytest.raises(StratificationError):
+            Program.parse("p(X) :- q(X), not p(X).")
+
+    def test_aggregation_counts_as_negative_edge(self):
+        # The aggregate rule's IDB body predicate must be complete before
+        # the aggregate evaluates — i.e. live in a strictly lower stratum.
+        program = Program.parse(
+            """
+            base(X) :- item(X).
+            total(G, count(X)) :- pair(G, X), base(X).
+            """
+        )
+        base_level = next(
+            i for i, s in enumerate(program.strata) if "base" in s
+        )
+        total_level = next(
+            i for i, s in enumerate(program.strata) if "total" in s
+        )
+        assert base_level < total_level
+
+    def test_aggregate_over_own_recursion_rejected(self):
+        with pytest.raises(StratificationError):
+            Program.parse(
+                """
+                t(G, count(X)) :- item(G, X).
+                item(G, N) :- t(G, N).
+                """
+            )
+
+    def test_mutual_recursion_same_stratum(self):
+        program = Program.parse(
+            """
+            even(X) :- zero(X).
+            even(Y) :- odd(X), succ(X, Y).
+            odd(Y) :- even(X), succ(X, Y).
+            """
+        )
+        assert {"even", "odd"} in program.strata
+
+    def test_edb_predicates(self):
+        program = Program.parse("p(X) :- q(X), not r(X).")
+        assert program.edb_predicates == {"q", "r"}

@@ -1,0 +1,101 @@
+"""Property tests: Datalog fixpoints against networkx references."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.engine import Database, evaluate
+from repro.datalog.program import Program
+
+edges = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=30
+)
+
+TC_PROGRAM = Program.parse(
+    """
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+    """
+)
+
+
+class TestTransitiveClosure:
+    @given(edges)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx(self, edge_list):
+        db = Database()
+        db.add_facts("edge", edge_list)
+        evaluate(TC_PROGRAM, db)
+        ours = db.facts("path")
+
+        # path(u, v) iff a non-empty walk u -> v exists: v is a successor
+        # of u, or reachable from one.
+        graph = nx.DiGraph(edge_list)
+        expected = set()
+        for source in graph.nodes:
+            reachable: set = set()
+            for successor in graph.successors(source):
+                reachable.add(successor)
+                reachable |= nx.descendants(graph, successor)
+            expected |= {(source, target) for target in reachable}
+        assert ours == expected
+
+    @given(edges)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_reevaluation(self, edge_list):
+        db = Database()
+        db.add_facts("edge", edge_list)
+        evaluate(TC_PROGRAM, db)
+        first = set(db.facts("path"))
+        evaluate(TC_PROGRAM, db)
+        assert db.facts("path") == first
+
+
+NEGATION_PROGRAM = Program.parse(
+    """
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreached(X) :- node(X), not reach(X).
+    """
+)
+
+
+class TestStratifiedNegationProperty:
+    @given(edges, st.integers(0, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_reach_unreached_partition_nodes(self, edge_list, start):
+        nodes = {start} | {n for e in edge_list for n in e}
+        db = Database()
+        db.add_facts("edge", edge_list)
+        db.add_fact("start", (start,))
+        db.add_facts("node", [(n,) for n in nodes])
+        evaluate(NEGATION_PROGRAM, db)
+        reached = {t[0] for t in db.facts("reach")}
+        unreached = {t[0] for t in db.facts("unreached")}
+        assert reached | unreached == nodes
+        assert reached & unreached == set()
+
+        graph = nx.DiGraph(edge_list)
+        graph.add_node(start)
+        expected = {start} | (
+            nx.descendants(graph, start) if start in graph else set()
+        )
+        assert reached == expected
+
+
+COUNT_PROGRAM = Program.parse("deg(X, count(Y)) :- edge(X, Y).")
+
+
+class TestAggregateProperty:
+    @given(edges)
+    @settings(max_examples=80, deadline=None)
+    def test_out_degree_matches_networkx(self, edge_list):
+        db = Database()
+        db.add_facts("edge", edge_list)
+        evaluate(COUNT_PROGRAM, db)
+        ours = dict(db.facts("deg"))
+        graph = nx.DiGraph(edge_list)  # distinct edges, like set semantics
+        expected = {
+            n: d for n, d in graph.out_degree() if d > 0
+        }
+        assert ours == expected

@@ -1,0 +1,41 @@
+"""Every shipped example must run clean (they assert their own claims)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: Fast examples run in CI-style tests; paper_experiments.py replays the
+#: full evaluation (~1 minute) and is exercised by the bench suite
+#: instead.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_consistency.py",
+    "datalog_playground.py",
+    "range_scans.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_are_listed_somewhere():
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    for script in EXAMPLES_DIR.glob("*.py"):
+        assert script.name in readme, (
+            f"example {script.name} missing from README"
+        )

@@ -1,0 +1,141 @@
+"""Metrics: statistics, collectors, rendering."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, Timer
+from repro.metrics.reporting import (
+    AsciiPlot,
+    ComparisonRow,
+    render_comparison,
+    render_table,
+)
+from repro.metrics.stats import percentile, summarize
+
+
+class TestStats:
+    def test_percentile_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == pytest.approx(2.5)
+
+    def test_percentile_single_sample(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.total == 6.0
+        assert summary.p50 == 2.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summary_str(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestCollector:
+    def test_counters_and_gauges(self):
+        collector = MetricsCollector()
+        collector.incr("x")
+        collector.incr("x", 4)
+        collector.gauge("g", 1.5)
+        assert collector.counters["x"] == 5
+        assert collector.gauges["g"] == 1.5
+
+    def test_timer_measure(self):
+        collector = MetricsCollector()
+        with collector.timer("t").measure():
+            pass
+        assert len(collector.timer("t").samples) == 1
+        assert collector.timer("t").total >= 0
+
+    def test_timer_add(self):
+        timer = Timer("t")
+        timer.add(0.5)
+        timer.add(1.5)
+        assert timer.total == 2.0
+        assert timer.summary().mean == 1.0
+
+    def test_series(self):
+        collector = MetricsCollector()
+        collector.record_point("fig2", 100, 120.0)
+        collector.record_point("fig2", 200, 130.0)
+        assert collector.series["fig2"] == [(100, 120.0), (200, 130.0)]
+
+    def test_report_renders_everything(self):
+        collector = MetricsCollector()
+        collector.incr("requests")
+        collector.gauge("load", 0.7)
+        collector.timer("query").add(0.01)
+        report = collector.report()
+        assert "requests" in report and "load" in report and "query" in report
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].startswith("1")
+
+    def test_cell_count_validated(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.000123456], [12345.678], [1.5]])
+        assert "0.000123" in text and "1.23e+04" in text and "1.5" in text
+
+    def test_comparison(self):
+        text = render_comparison(
+            [ComparisonRow("stmts", 550055, 557920, "close")]
+        )
+        assert "550055" in text and "557920" in text and "close" in text
+
+
+class TestAsciiPlot:
+    def test_linear_plot_contains_markers(self):
+        plot = AsciiPlot(width=40, height=10, title="demo")
+        plot.add_series("*", [(0, 0), (10, 100)])
+        rendered = plot.render()
+        assert "demo" in rendered
+        assert rendered.count("*") == 2
+
+    def test_log_scale_axis_labels(self):
+        plot = AsciiPlot(width=40, height=10, log_y=True)
+        plot.add_series("x", [(0, 100), (10, 10000)])
+        rendered = plot.render()
+        assert "1e+04" in rendered or "10000" in rendered
+
+    def test_log_scale_rejects_nonpositive(self):
+        plot = AsciiPlot(log_y=True)
+        plot.add_series("x", [(0, 0)])
+        with pytest.raises(ValueError):
+            plot.render()
+
+    def test_empty_plot(self):
+        assert "(no data)" in AsciiPlot(title="t").render()
+
+    def test_marker_validation(self):
+        with pytest.raises(ValueError):
+            AsciiPlot().add_series("ab", [(0, 1)])
+
+    def test_multiple_series(self):
+        plot = AsciiPlot(width=30, height=8)
+        plot.add_series("a", [(0, 1), (5, 5)])
+        plot.add_series("b", [(0, 5), (5, 1)])
+        rendered = plot.render()
+        assert "a" in rendered and "b" in rendered

@@ -1,0 +1,174 @@
+"""Coverage for smaller surfaces: relation utilities, optimizer key
+extraction, capability vectors, stream modes, bench report smoke."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.metrics.reporting import render_table
+from repro.protocols.base import Capabilities
+from repro.relalg.expressions import col, lit
+from repro.relalg.optimizer import split_join_predicate
+from repro.relalg.relation import Relation, rows_equal_as_bags
+from repro.relalg.schema import Column, Schema
+from repro.workload.generator import request_stream
+from repro.workload.spec import WorkloadSpec
+
+
+class TestRelationUtilities:
+    def _relation(self):
+        schema = Schema([Column("a", "t"), Column("b", "t")])
+        return Relation(schema, [(1, "x"), (2, "y")])
+
+    def test_to_dicts(self):
+        assert self._relation().to_dicts() == [
+            {"a": 1, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_column_values_qualified(self):
+        assert self._relation().column_values("a", "t") == [1, 2]
+
+    def test_sorted_rows_canonical(self):
+        schema = Schema([Column("a")])
+        r1 = Relation(schema, [(2,), (1,)])
+        r2 = Relation(schema, [(1,), (2,)])
+        assert r1.sorted_rows() == r2.sorted_rows()
+
+    def test_bag_equality(self):
+        assert rows_equal_as_bags([(1,), (1,), (2,)], [(2,), (1,), (1,)])
+        assert not rows_equal_as_bags([(1,)], [(1,), (1,)])
+        assert not rows_equal_as_bags([(1,), (1,)], [(1,), (2,)])
+
+    def test_empty(self):
+        schema = Schema([Column("a")])
+        assert Relation.empty(schema).cardinality == 0
+
+
+class TestSplitJoinPredicate:
+    LEFT = Schema([Column("a", "l"), Column("b", "l")])
+    RIGHT = Schema([Column("a", "r"), Column("c", "r")])
+
+    def test_extracts_equi_keys(self):
+        left_keys, right_keys, residual = split_join_predicate(
+            col("l.a") == col("r.a"), self.LEFT, self.RIGHT
+        )
+        assert left_keys == ["l.a"] and right_keys == ["r.a"]
+        assert residual is None
+
+    def test_reversed_sides_normalized(self):
+        left_keys, right_keys, __ = split_join_predicate(
+            col("r.a") == col("l.b"), self.LEFT, self.RIGHT
+        )
+        assert left_keys == ["l.b"] and right_keys == ["r.a"]
+
+    def test_non_equality_goes_to_residual(self):
+        left_keys, __, residual = split_join_predicate(
+            (col("l.a") == col("r.a")) & (col("l.b") > col("r.c")),
+            self.LEFT,
+            self.RIGHT,
+        )
+        assert left_keys == ["l.a"]
+        assert residual is not None
+
+    def test_literal_comparison_is_residual(self):
+        left_keys, __, residual = split_join_predicate(
+            col("l.a") == lit(5), self.LEFT, self.RIGHT
+        )
+        assert left_keys == [] and residual is not None
+
+    def test_none_predicate(self):
+        assert split_join_predicate(None, self.LEFT, self.RIGHT) == ([], [], None)
+
+
+class TestCapabilities:
+    def test_as_row_marks(self):
+        assert Capabilities().as_row() == ("-", "-", "-", "-", "-")
+        assert Capabilities(
+            performance=True, qos=True, declarative=True, flexible=True,
+            high_scalability=True,
+        ).as_row() == ("+", "+", "+", "+", "+")
+
+
+class TestInfiniteStream:
+    def test_unbounded_stream_yields_forever(self):
+        spec = WorkloadSpec(reads_per_txn=1, writes_per_txn=1, table_rows=50)
+        stream = request_stream(spec, random.Random(1), clients=2)
+        first_hundred = list(itertools.islice(stream, 100))
+        assert len(first_hundred) == 100
+        ids = [r.id for r in first_hundred]
+        assert ids == list(range(1, 101))
+
+
+class TestBenchSmoke:
+    """Scaled-down smoke of every report generator not covered by the
+    heavier benchmark suite — each must render a plausible report."""
+
+    def test_table_reports(self):
+        from repro.bench import run_table1, run_table2
+
+        assert "EQMS" in run_table1()
+        assert "INTRATA" in run_table2()
+
+    def test_figure2_small(self):
+        from repro.bench.figure2 import run_figure2
+
+        report = run_figure2(client_counts=(1, 50), duration=5.0)
+        assert "Figure 2" in report and "anchors" in report
+
+    def test_declarative_overhead_small(self):
+        from repro.bench import run_declarative_overhead
+
+        report = run_declarative_overhead(client_counts=(50,), repetitions=1)
+        assert "per-run" in report
+
+    def test_productivity(self):
+        from repro.bench import run_productivity
+
+        assert "SDL" in run_productivity()
+
+    def test_mpl_small(self):
+        from repro.bench import run_mpl_ablation
+
+        report = run_mpl_ablation(clients=100, caps=(None, 50), duration=5.0)
+        assert "uncapped" in report
+
+    def test_incremental_small(self):
+        from repro.bench import run_incremental_ablation
+
+        report = run_incremental_ablation(clients=30, steps=5)
+        assert "speedup" in report
+
+
+class TestRenderTableEdgeCases:
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_wide_values_extend_columns(self):
+        text = render_table(["x"], [["a-very-long-cell-value"]])
+        assert "a-very-long-cell-value" in text
+
+
+class TestSDLDeadlineOrdering:
+    def test_order_by_deadline(self):
+        from repro.core.stores import PendingStore
+        from repro.lang.protocol import SDLProtocol
+        from repro.model.request import Operation, Request, RequestAttributes
+
+        store = PendingStore()
+        store.insert_batch(
+            [
+                Request(1, 1, 0, Operation.READ, 5,
+                        attrs=RequestAttributes(deadline=9.0)),
+                Request(2, 2, 0, Operation.READ, 6,
+                        attrs=RequestAttributes(deadline=2.0)),
+            ]
+        )
+        protocol = SDLProtocol(
+            "protocol p { deny any when batch_conflict; "
+            "order by deadline asc; }"
+        )
+        decision = protocol.schedule(store.table, PendingStore().table)
+        assert [r.id for r in decision.qualified] == [2, 1]

@@ -1,0 +1,93 @@
+"""HistoryView: incremental lock-footprint tracking."""
+
+from repro.model.history import HistoryView
+from repro.model.request import TransactionStatus, make_transaction
+
+from tests.conftest import request
+
+
+class TestStatusTracking:
+    def test_new_transaction_active(self):
+        view = HistoryView([request(1, 1, 0, "r", 5)])
+        assert view.status(1) is TransactionStatus.ACTIVE
+        assert view.is_active(1)
+
+    def test_commit_and_abort(self):
+        view = HistoryView()
+        view.record(request(1, 1, 0, "w", 5))
+        view.record(request(2, 1, 1, "c"))
+        view.record(request(3, 2, 0, "w", 6))
+        view.record(request(4, 2, 1, "a"))
+        assert view.status(1) is TransactionStatus.COMMITTED
+        assert view.status(2) is TransactionStatus.ABORTED
+        assert view.is_finished(1) and view.is_finished(2)
+
+    def test_unknown_transaction_defaults_active(self):
+        assert HistoryView().status(99) is TransactionStatus.ACTIVE
+
+
+class TestLockFootprints:
+    def test_write_locked_objects_exclude_finished(self):
+        view = HistoryView()
+        view.record(request(1, 1, 0, "w", 5))
+        view.record(request(2, 2, 0, "w", 6))
+        view.record(request(3, 2, 1, "c"))
+        assert view.write_locked_objects() == {5: {1}}
+
+    def test_read_lock_subsumed_by_own_write(self):
+        view = HistoryView()
+        view.record(request(1, 1, 0, "r", 5))
+        view.record(request(2, 1, 1, "w", 5))
+        assert view.read_locked_objects() == {}
+        assert view.write_locked_objects() == {5: {1}}
+
+    def test_read_locks_shared(self):
+        view = HistoryView()
+        view.record(request(1, 1, 0, "r", 5))
+        view.record(request(2, 2, 0, "r", 5))
+        assert view.read_locked_objects() == {5: {1, 2}}
+
+
+class TestWouldConflict:
+    def test_read_vs_foreign_write_lock(self):
+        view = HistoryView([request(1, 1, 0, "w", 5)])
+        assert view.would_conflict(request(2, 2, 0, "r", 5))
+
+    def test_write_vs_foreign_read_lock(self):
+        view = HistoryView([request(1, 1, 0, "r", 5)])
+        assert view.would_conflict(request(2, 2, 0, "w", 5))
+
+    def test_read_vs_foreign_read_lock_ok(self):
+        view = HistoryView([request(1, 1, 0, "r", 5)])
+        assert not view.would_conflict(request(2, 2, 0, "r", 5))
+
+    def test_own_locks_never_conflict(self):
+        view = HistoryView([request(1, 1, 0, "w", 5)])
+        assert not view.would_conflict(request(2, 1, 1, "w", 5))
+
+    def test_finished_locks_released(self):
+        view = HistoryView(
+            [request(1, 1, 0, "w", 5), request(2, 1, 1, "c")]
+        )
+        assert not view.would_conflict(request(3, 2, 0, "w", 5))
+
+    def test_termination_requests_never_conflict(self):
+        view = HistoryView([request(1, 1, 0, "w", 5)])
+        assert not view.would_conflict(request(2, 2, 0, "c"))
+
+
+class TestPruning:
+    def test_prune_drops_finished_rows(self):
+        view = HistoryView()
+        for r in make_transaction(1, [("w", 1), ("r", 2)], start_id=1):
+            view.record(r)
+        view.record(request(10, 2, 0, "w", 3))
+        removed = view.prune_finished()
+        assert removed == 3
+        assert len(view) == 1
+        assert view.write_locked_objects() == {3: {2}}
+
+    def test_prune_noop_when_all_active(self):
+        view = HistoryView([request(1, 1, 0, "w", 5)])
+        assert view.prune_finished() == 0
+        assert len(view) == 1

@@ -1,0 +1,118 @@
+"""Property-based tests on the correctness analyzers (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.request import Operation, Request, make_transaction
+from repro.model.schedule import (
+    Schedule,
+    is_avoiding_cascading_aborts,
+    is_conflict_serializable,
+    is_legal_ss2pl_order,
+    is_recoverable,
+    is_strict,
+    serialization_order,
+)
+
+
+@st.composite
+def transaction_set(draw, max_txns=4, max_ops=4, objects=4):
+    """A list of complete transactions over a small object space."""
+    txn_count = draw(st.integers(1, max_txns))
+    txns = []
+    rid = 1
+    for ta in range(1, txn_count + 1):
+        op_count = draw(st.integers(1, max_ops))
+        accesses = [
+            (draw(st.sampled_from(["r", "w"])), draw(st.integers(0, objects - 1)))
+            for __ in range(op_count)
+        ]
+        terminate = draw(st.sampled_from(["c", "c", "c", "a"]))
+        txns.append(
+            make_transaction(ta, accesses, terminate=terminate, start_id=rid)
+        )
+        rid += op_count + 1
+    return txns
+
+
+@st.composite
+def interleaved_schedule(draw):
+    """A random interleaving of a random transaction set (each
+    transaction's internal order preserved)."""
+    txns = draw(transaction_set())
+    cursors = [0] * len(txns)
+    out = Schedule()
+    remaining = sum(len(t) for t in txns)
+    while remaining:
+        live = [i for i, t in enumerate(txns) if cursors[i] < len(t)]
+        which = draw(st.sampled_from(live))
+        out.append(txns[which].requests[cursors[which]])
+        cursors[which] += 1
+        remaining -= 1
+    return out
+
+
+class TestSerialSchedules:
+    @given(transaction_set())
+    @settings(max_examples=60, deadline=None)
+    def test_serial_is_always_everything(self, txns):
+        """Any serial execution satisfies every criterion."""
+        schedule = Schedule([r for t in txns for r in t])
+        assert is_conflict_serializable(schedule)
+        assert is_recoverable(schedule)
+        assert is_avoiding_cascading_aborts(schedule)
+        assert is_strict(schedule)
+        assert is_legal_ss2pl_order(schedule)
+
+    @given(transaction_set())
+    @settings(max_examples=30, deadline=None)
+    def test_serial_order_is_a_valid_serialization(self, txns):
+        schedule = Schedule([r for t in txns for r in t])
+        order = serialization_order(schedule)
+        assert order is not None
+        committed = schedule.committed
+        assert set(order) == committed
+
+
+class TestHierarchy:
+    @given(interleaved_schedule())
+    @settings(max_examples=120, deadline=None)
+    def test_strict_implies_aca_implies_rc(self, schedule):
+        """ST ⊂ ACA ⊂ RC (Weikum & Vossen hierarchy)."""
+        if is_strict(schedule):
+            assert is_avoiding_cascading_aborts(schedule)
+        if is_avoiding_cascading_aborts(schedule):
+            assert is_recoverable(schedule)
+
+    @given(interleaved_schedule())
+    @settings(max_examples=120, deadline=None)
+    def test_ss2pl_legal_implies_csr_and_strict(self, schedule):
+        """SS2PL schedules are serializable and strict — the guarantee
+        the paper's Listing 1 encodes."""
+        if is_legal_ss2pl_order(schedule):
+            assert is_conflict_serializable(schedule)
+            assert is_strict(schedule)
+
+    @given(interleaved_schedule())
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_order_iff_csr(self, schedule):
+        order = serialization_order(schedule)
+        assert (order is not None) == is_conflict_serializable(schedule)
+
+
+class TestRowRoundtripProperty:
+    @given(
+        st.integers(1, 10**6),
+        st.integers(1, 10**4),
+        st.integers(0, 100),
+        st.sampled_from(list(Operation)),
+        st.integers(0, 10**5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_as_row_from_row_identity(self, rid, ta, intrata, op, obj):
+        request = Request(
+            rid, ta, intrata, op, obj if op.is_data_access else -1
+        )
+        assert Request.from_row(request.as_row()) == request

@@ -1,0 +1,154 @@
+"""Unit tests for the request/transaction data model."""
+
+import pytest
+
+from repro.model.request import (
+    GLOBAL_REQUEST_IDS,
+    NO_OBJECT,
+    Operation,
+    Request,
+    RequestAttributes,
+    Transaction,
+    make_transaction,
+)
+
+
+class TestOperation:
+    def test_codes_match_paper_sql(self):
+        assert Operation.READ.value == "r"
+        assert Operation.WRITE.value == "w"
+        assert Operation.ABORT.value == "a"
+        assert Operation.COMMIT.value == "c"
+
+    def test_from_code_roundtrip(self):
+        for op in Operation:
+            assert Operation.from_code(op.value) is op
+
+    def test_from_code_case_insensitive(self):
+        assert Operation.from_code("R") is Operation.READ
+
+    def test_from_code_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            Operation.from_code("x")
+
+    def test_classification(self):
+        assert Operation.READ.is_data_access
+        assert Operation.WRITE.is_data_access
+        assert not Operation.COMMIT.is_data_access
+        assert Operation.COMMIT.is_termination
+        assert Operation.ABORT.is_termination
+        assert not Operation.READ.is_termination
+
+
+class TestRequest:
+    def test_data_access_requires_object(self):
+        with pytest.raises(ValueError, match="non-negative object"):
+            Request(1, 1, 0, Operation.READ, NO_OBJECT)
+
+    def test_termination_takes_no_object(self):
+        commit = Request(1, 1, 0, Operation.COMMIT)
+        assert commit.obj == NO_OBJECT
+
+    def test_conflicts_same_object_different_ta_one_write(self):
+        r = Request(1, 1, 0, Operation.READ, 5)
+        w = Request(2, 2, 0, Operation.WRITE, 5)
+        assert r.conflicts_with(w)
+        assert w.conflicts_with(r)
+
+    def test_reads_do_not_conflict(self):
+        a = Request(1, 1, 0, Operation.READ, 5)
+        b = Request(2, 2, 0, Operation.READ, 5)
+        assert not a.conflicts_with(b)
+
+    def test_same_transaction_never_conflicts(self):
+        a = Request(1, 1, 0, Operation.WRITE, 5)
+        b = Request(2, 1, 1, Operation.WRITE, 5)
+        assert not a.conflicts_with(b)
+
+    def test_different_objects_never_conflict(self):
+        a = Request(1, 1, 0, Operation.WRITE, 5)
+        b = Request(2, 2, 0, Operation.WRITE, 6)
+        assert not a.conflicts_with(b)
+
+    def test_termination_never_conflicts(self):
+        w = Request(1, 1, 0, Operation.WRITE, 5)
+        c = Request(2, 2, 0, Operation.COMMIT)
+        assert not w.conflicts_with(c)
+        assert not c.conflicts_with(w)
+
+    def test_row_roundtrip(self):
+        original = Request(7, 3, 2, Operation.WRITE, 42)
+        assert Request.from_row(original.as_row()) == original
+
+    def test_row_matches_table2_layout(self):
+        row = Request(7, 3, 2, Operation.WRITE, 42).as_row()
+        assert row == (7, 3, 2, "w", 42)
+
+    def test_str_format(self):
+        assert str(Request(1, 3, 0, Operation.READ, 17)) == "r3[17]"
+        assert str(Request(2, 3, 1, Operation.COMMIT)) == "c3"
+
+    def test_with_attrs(self):
+        request = Request(1, 1, 0, Operation.READ, 5)
+        upgraded = request.with_attrs(priority=9, sla_class="premium")
+        assert upgraded.attrs.priority == 9
+        assert upgraded.attrs.sla_class == "premium"
+        assert request.attrs.priority == 0  # original untouched
+
+    def test_attrs_not_part_of_equality(self):
+        a = Request(1, 1, 0, Operation.READ, 5)
+        b = a.with_attrs(priority=5)
+        assert a == b
+
+
+class TestTransaction:
+    def test_make_transaction_shape(self):
+        txn = make_transaction(7, [("r", 10), ("w", 10)], start_id=1)
+        assert [str(r) for r in txn] == ["r7[10]", "w7[10]", "c7"]
+        assert txn.is_well_formed()
+
+    def test_abort_termination(self):
+        txn = make_transaction(1, [("w", 1)], terminate="a", start_id=1)
+        assert txn.termination is not None
+        assert txn.termination.is_abort
+
+    def test_open_transaction(self):
+        txn = make_transaction(1, [("w", 1)], terminate="", start_id=1)
+        assert txn.termination is None
+        assert len(txn) == 1
+
+    def test_read_write_sets(self):
+        txn = make_transaction(
+            1, [("r", 1), ("w", 2), ("r", 3), ("w", 3)], start_id=1
+        )
+        assert txn.read_set == {1, 3}
+        assert txn.write_set == {2, 3}
+        assert txn.objects == {1, 2, 3}
+
+    def test_intrata_is_consecutive(self):
+        txn = make_transaction(1, [("r", 1), ("w", 2)], start_id=10)
+        assert [r.intrata for r in txn] == [0, 1, 2]
+
+    def test_ids_consecutive_from_start(self):
+        txn = make_transaction(1, [("r", 1), ("w", 2)], start_id=10)
+        assert [r.id for r in txn] == [10, 11, 12]
+
+    def test_global_allocator_when_no_start(self):
+        GLOBAL_REQUEST_IDS.reset()
+        txn = make_transaction(1, [("r", 1)])
+        assert [r.id for r in txn] == [1, 2]
+
+    def test_ill_formed_detection(self):
+        txn = Transaction(
+            ta=1,
+            requests=[
+                Request(1, 1, 0, Operation.COMMIT),
+                Request(2, 1, 1, Operation.READ, 5),
+            ],
+        )
+        assert not txn.is_well_formed()
+
+    def test_attrs_applied_to_every_request(self):
+        attrs = RequestAttributes(client_id=4, sla_class="premium", priority=2)
+        txn = make_transaction(1, [("r", 1)], start_id=1, attrs=attrs)
+        assert all(r.attrs.sla_class == "premium" for r in txn)

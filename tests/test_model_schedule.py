@@ -1,0 +1,144 @@
+"""Schedule-correctness analyzers against textbook cases."""
+
+import networkx as nx
+
+from repro.model.request import make_transaction
+from repro.model.schedule import (
+    Schedule,
+    conflict_graph,
+    interleave,
+    is_avoiding_cascading_aborts,
+    is_conflict_serializable,
+    is_legal_ss2pl_order,
+    is_recoverable,
+    is_strict,
+    serialization_order,
+)
+
+
+def two_txn(parts1, parts2, terminate1="c", terminate2="c"):
+    t1 = make_transaction(1, parts1, terminate=terminate1, start_id=1)
+    t2 = make_transaction(2, parts2, terminate=terminate2, start_id=100)
+    return t1.requests, t2.requests
+
+
+class TestConflictGraph:
+    def test_serial_schedule_no_cycle(self):
+        t1, t2 = two_txn([("w", 1)], [("w", 1)])
+        schedule = Schedule(t1 + t2)
+        assert is_conflict_serializable(schedule)
+        assert serialization_order(schedule) == [1, 2]
+
+    def test_classic_nonserializable_interleaving(self):
+        # r1(x) r2(x) w1(x) w2(x): T1->T2 (r1-w2) and T2->T1 (r2-w1).
+        t1, t2 = two_txn([("r", 1), ("w", 1)], [("r", 1), ("w", 1)])
+        schedule = interleave([t1, t2], [0, 1, 0, 1, 0, 1])
+        assert not is_conflict_serializable(schedule)
+        assert serialization_order(schedule) is None
+
+    def test_serializable_interleaving(self):
+        # r1(x) w2(y) w1(x) — disjoint objects, no conflicts at all.
+        t1, t2 = two_txn([("r", 1), ("w", 1)], [("w", 2)])
+        schedule = interleave([t1, t2], [0, 1, 0, 0, 1])
+        assert is_conflict_serializable(schedule)
+
+    def test_graph_edges_direction(self):
+        t1, t2 = two_txn([("w", 1)], [("r", 1)])
+        schedule = interleave([t1, t2], [0, 1, 0, 1])  # w1 r2 c1 c2
+        graph = conflict_graph(schedule)
+        assert list(graph.edges) == [(1, 2)]
+
+    def test_uncommitted_transactions_excluded(self):
+        t1, t2 = two_txn([("w", 1)], [("w", 1)], terminate2="")
+        schedule = Schedule(t1 + t2)
+        graph = conflict_graph(schedule)
+        assert 2 not in graph.nodes
+
+    def test_aborted_transactions_excluded(self):
+        t1, t2 = two_txn([("w", 1)], [("w", 1)], terminate2="a")
+        # w2 w1 c1 a2 would be a cycle if T2 counted; it must not.
+        schedule = interleave([t2, t1], [0, 1, 1, 0])
+        assert is_conflict_serializable(schedule)
+
+
+class TestRecoverabilityHierarchy:
+    def test_dirty_read_commit_before_writer_not_recoverable(self):
+        # w1(x) r2(x) c2 c1: T2 read from T1 and committed first.
+        t1, t2 = two_txn([("w", 1)], [("r", 1)])
+        schedule = interleave([t1, t2], [0, 1, 1, 0])
+        assert not is_recoverable(schedule)
+        assert not is_avoiding_cascading_aborts(schedule)
+        assert not is_strict(schedule)
+
+    def test_dirty_read_commit_after_writer_is_rc_not_aca(self):
+        # w1(x) r2(x) c1 c2: recoverable, but the read was dirty.
+        t1, t2 = two_txn([("w", 1)], [("r", 1)])
+        schedule = interleave([t1, t2], [0, 1, 0, 1])
+        assert is_recoverable(schedule)
+        assert not is_avoiding_cascading_aborts(schedule)
+        assert not is_strict(schedule)
+
+    def test_read_after_commit_is_aca_and_strict(self):
+        # w1(x) c1 r2(x) c2.
+        t1, t2 = two_txn([("w", 1)], [("r", 1)])
+        schedule = Schedule(t1 + t2)
+        assert is_recoverable(schedule)
+        assert is_avoiding_cascading_aborts(schedule)
+        assert is_strict(schedule)
+
+    def test_dirty_overwrite_breaks_strictness_only(self):
+        # w1(x) w2(x) c1 c2: no reads-from, so RC and ACA hold; the
+        # overwrite of uncommitted data breaks strictness.
+        t1, t2 = two_txn([("w", 1)], [("w", 1)])
+        schedule = interleave([t1, t2], [0, 1, 0, 1])
+        assert is_recoverable(schedule)
+        assert is_avoiding_cascading_aborts(schedule)
+        assert not is_strict(schedule)
+
+    def test_read_from_aborted_writer_not_recoverable(self):
+        # w1(x) r2(x) a1 c2: T2 committed a dirty read from an abort.
+        t1, t2 = two_txn([("w", 1)], [("r", 1)], terminate1="a")
+        schedule = interleave([t1, t2], [0, 1, 0, 1])
+        assert not is_recoverable(schedule)
+
+
+class TestSS2PLLegality:
+    def test_serial_is_legal(self):
+        t1, t2 = two_txn([("r", 1), ("w", 2)], [("w", 1)])
+        assert is_legal_ss2pl_order(Schedule(t1 + t2))
+
+    def test_conflicting_access_before_termination_is_illegal(self):
+        # w1(x) r2(x) c1 c2 — r2 read x while T1 still held its lock.
+        t1, t2 = two_txn([("w", 1)], [("r", 1)])
+        schedule = interleave([t1, t2], [0, 1, 0, 1])
+        assert not is_legal_ss2pl_order(schedule)
+
+    def test_non_conflicting_interleaving_is_legal(self):
+        # r1(x) r2(x) c1 c2 — shared locks coexist.
+        t1, t2 = two_txn([("r", 1)], [("r", 1)])
+        schedule = interleave([t1, t2], [0, 1, 0, 1])
+        assert is_legal_ss2pl_order(schedule)
+
+    def test_access_after_termination_is_legal(self):
+        t1, t2 = two_txn([("w", 1)], [("w", 1)])
+        schedule = interleave([t1, t2], [0, 0, 1, 1])  # w1 c1 w2 c2
+        assert is_legal_ss2pl_order(schedule)
+
+
+class TestScheduleContainer:
+    def test_transaction_bookkeeping(self):
+        t1, t2 = two_txn([("w", 1)], [("r", 2)], terminate2="")
+        schedule = Schedule(t1 + t2)
+        assert schedule.transactions == [1, 2]
+        assert schedule.committed == {1}
+        assert schedule.active == {2}
+        assert schedule.of_transaction(2) == t2
+
+    def test_committed_projection(self):
+        t1, t2 = two_txn([("w", 1)], [("r", 2)], terminate2="")
+        projection = Schedule(t1 + t2).committed_projection()
+        assert {r.ta for r in projection} == {1}
+
+    def test_conflict_graph_is_networkx(self):
+        t1, t2 = two_txn([("w", 1)], [("w", 1)])
+        assert isinstance(conflict_graph(Schedule(t1 + t2)), nx.DiGraph)

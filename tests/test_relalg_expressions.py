@@ -1,0 +1,101 @@
+"""Expression language: binding, evaluation, None semantics."""
+
+from repro.relalg.expressions import (
+    and_,
+    col,
+    func,
+    is_null,
+    lit,
+    not_,
+    or_,
+    split_conjuncts,
+)
+from repro.relalg.schema import Column, Schema
+
+SCHEMA = Schema([Column("a", "t"), Column("b", "t"), Column("c", "t")])
+
+
+def run(expr, row):
+    return expr.bind(SCHEMA)(row)
+
+
+class TestBasics:
+    def test_column_and_literal(self):
+        assert run(col("a"), (1, 2, 3)) == 1
+        assert run(lit(42), (1, 2, 3)) == 42
+
+    def test_qualified_column_string(self):
+        assert run(col("t.b"), (1, 2, 3)) == 2
+
+    def test_comparisons(self):
+        row = (1, 2, 2)
+        assert run(col("a") < col("b"), row)
+        assert run(col("b") <= col("c"), row)
+        assert run(col("b") == col("c"), row)
+        assert run(col("a") != col("b"), row)
+        assert not run(col("a") > col("b"), row)
+        assert run(col("c") >= col("b"), row)
+
+    def test_arithmetic(self):
+        row = (3, 4, 0)
+        assert run(col("a") + col("b"), row) == 7
+        assert run(col("a") - lit(1), row) == 2
+        assert run(col("a") * col("b"), row) == 12
+
+    def test_in_set(self):
+        assert run(col("a").in_([1, 5]), (1, 0, 0))
+        assert not run(col("a").in_([2, 5]), (1, 0, 0))
+
+
+class TestNullSemantics:
+    def test_comparison_with_none_is_false(self):
+        assert not run(col("a") == col("b"), (None, None, 0))
+        assert not run(col("a") < lit(5), (None, 0, 0))
+        assert not run(col("a") != lit(5), (None, 0, 0))
+
+    def test_is_null(self):
+        assert run(is_null(col("a")), (None, 0, 0))
+        assert not run(is_null(col("a")), (1, 0, 0))
+
+    def test_arithmetic_propagates_none(self):
+        assert run(col("a") + lit(1), (None, 0, 0)) is None
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        row = (1, 2, 3)
+        assert run((col("a") < col("b")) & (col("b") < col("c")), row)
+        assert run((col("a") > col("b")) | (col("b") < col("c")), row)
+        assert run(~(col("a") > col("b")), row)
+
+    def test_nary_constructors(self):
+        row = (1, 2, 3)
+        assert run(and_(), row) is True
+        assert run(or_(), row) is False
+        assert run(and_(col("a") == lit(1), col("b") == lit(2)), row)
+        assert run(or_(col("a") == lit(9), col("b") == lit(2)), row)
+        assert not run(not_(col("a") == lit(1)), row)
+
+    def test_and_flattens(self):
+        expr = (col("a") == lit(1)) & (col("b") == lit(2)) & (col("c") == lit(3))
+        assert len(split_conjuncts(expr)) == 3
+
+
+class TestIntrospection:
+    def test_referenced_columns(self):
+        expr = (col("t.a") == col("b")) & (col("c") > lit(1))
+        refs = expr.referenced_columns()
+        assert ("t", "a") in refs
+        assert (None, "b") in refs
+        assert (None, "c") in refs
+
+    def test_func_escape_hatch(self):
+        double_sum = func(lambda a, b: a + b > 4, "a", "b", label="sumgt4")
+        assert run(double_sum, (2, 3, 0))
+        assert not run(double_sum, (1, 2, 0))
+        assert (None, "a") in double_sum.referenced_columns()
+
+    def test_reprs_are_informative(self):
+        expr = (col("a") == lit(1)) & ~col("b").in_([2])
+        text = repr(expr)
+        assert "a" in text and "=" in text and "IN" in text

@@ -1,0 +1,177 @@
+"""Physical operators against hand-computed results."""
+
+import pytest
+
+from repro.relalg import operators as ops
+from repro.relalg.expressions import col, lit, or_
+from repro.relalg.relation import Relation, rows_equal_as_bags
+from repro.relalg.schema import Column, Schema
+
+
+def rel(qualifier, names, rows):
+    return Relation(Schema([Column(n, qualifier) for n in names]), rows)
+
+
+@pytest.fixture
+def people():
+    return rel("p", ["id", "dept", "salary"],
+               [(1, "db", 100), (2, "db", 120), (3, "os", 90), (4, "pl", 90)])
+
+
+@pytest.fixture
+def depts():
+    return rel("d", ["dept", "floor"], [("db", 1), ("os", 2)])
+
+
+class TestUnary:
+    def test_select(self, people):
+        out = ops.select(people, col("dept") == lit("db"))
+        assert [r[0] for r in out.rows] == [1, 2]
+
+    def test_project(self, people):
+        out = ops.project(people, ["salary", "id"])
+        assert out.schema.names == ("salary", "id")
+        assert out.rows[0] == (100, 1)
+
+    def test_project_keeps_duplicates(self, people):
+        out = ops.project(people, ["dept"])
+        assert len(out.rows) == 4
+
+    def test_extend(self, people):
+        out = ops.extend(people, "double", col("salary") * lit(2))
+        assert out.schema.names[-1] == "double"
+        assert out.rows[0][-1] == 200
+
+    def test_rename(self, people):
+        out = ops.rename(people, "x")
+        assert out.schema.resolve("id", "x") == 0
+
+    def test_distinct_preserves_first_seen_order(self):
+        r = rel(None, ["a"], [(2,), (1,), (2,), (3,), (1,)])
+        assert ops.distinct(r).rows == [(2,), (1,), (3,)]
+
+    def test_order_by_multi_key(self, people):
+        out = ops.order_by(people, [("salary", False), ("id", True)])
+        assert [r[0] for r in out.rows] == [4, 3, 1, 2]
+
+    def test_order_by_descending(self, people):
+        out = ops.order_by(people, [("salary", True)])
+        assert out.rows[0][2] == 120
+
+    def test_limit(self, people):
+        assert len(ops.limit(people, 2)) == 2
+
+
+class TestJoins:
+    def test_hash_join(self, people, depts):
+        out = ops.hash_join(people, depts, ["p.dept"], ["d.dept"])
+        assert len(out) == 3  # pl has no dept row
+        assert out.schema.arity == 5
+
+    def test_hash_join_equals_nested_loop(self, people, depts):
+        predicate = col("p.dept") == col("d.dept")
+        nested = ops.nested_loop_join(people, depts, predicate)
+        hashed = ops.hash_join(people, depts, ["p.dept"], ["d.dept"])
+        assert rows_equal_as_bags(nested.rows, hashed.rows)
+
+    def test_hash_join_residual(self, people, depts):
+        out = ops.hash_join(
+            people, depts, ["p.dept"], ["d.dept"],
+            residual=col("salary") > lit(100),
+        )
+        assert [r[0] for r in out.rows] == [2]
+
+    def test_left_outer_join_pads_none(self, people, depts):
+        out = ops.left_outer_join(people, depts, ["p.dept"], ["d.dept"])
+        assert len(out) == 4
+        unmatched = [r for r in out.rows if r[0] == 4][0]
+        assert unmatched[3] is None and unmatched[4] is None
+
+    def test_semi_join(self, people, depts):
+        out = ops.semi_join(people, depts, ["p.dept"], ["d.dept"])
+        assert [r[0] for r in out.rows] == [1, 2, 3]
+        assert out.schema == people.schema
+
+    def test_anti_join(self, people, depts):
+        out = ops.anti_join(people, depts, ["p.dept"], ["d.dept"])
+        assert [r[0] for r in out.rows] == [4]
+
+    def test_anti_join_predicate_form(self, people, depts):
+        out = ops.anti_join_predicate(
+            people, depts, col("p.dept") == col("d.dept")
+        )
+        assert [r[0] for r in out.rows] == [4]
+
+    def test_cross_join_cardinality(self, people, depts):
+        assert len(ops.cross_join(people, depts)) == 8
+
+
+class TestSetOps:
+    def test_union_all_and_union(self):
+        a = rel(None, ["x"], [(1,), (2,)])
+        b = rel(None, ["x"], [(2,), (3,)])
+        assert len(ops.union_all(a, b)) == 4
+        assert sorted(ops.union(a, b).rows) == [(1,), (2,), (3,)]
+
+    def test_except_set_semantics(self):
+        a = rel(None, ["x"], [(1,), (1,), (2,), (3,)])
+        b = rel(None, ["x"], [(2,)])
+        # SQL EXCEPT: distinct result, all copies of matches removed.
+        assert sorted(ops.except_(a, b).rows) == [(1,), (3,)]
+
+    def test_except_all_bag_semantics(self):
+        a = rel(None, ["x"], [(1,), (1,), (2,)])
+        b = rel(None, ["x"], [(1,)])
+        assert sorted(ops.except_all(a, b).rows) == [(1,), (2,)]
+
+    def test_intersect(self):
+        a = rel(None, ["x"], [(1,), (2,), (2,)])
+        b = rel(None, ["x"], [(2,), (3,)])
+        assert ops.intersect(a, b).rows == [(2,)]
+
+    def test_arity_mismatch_rejected(self):
+        a = rel(None, ["x"], [(1,)])
+        b = rel(None, ["x", "y"], [(1, 2)])
+        with pytest.raises(ValueError, match="arity"):
+            ops.union_all(a, b)
+
+
+class TestAggregate:
+    def test_group_by_count_sum(self, people):
+        out = ops.aggregate(
+            people, ["dept"],
+            [("count", "*", "n"), ("sum", "salary", "total")],
+        )
+        as_dict = {row[0]: (row[1], row[2]) for row in out.rows}
+        assert as_dict == {"db": (2, 220), "os": (1, 90), "pl": (1, 90)}
+
+    def test_min_max_avg(self, people):
+        out = ops.aggregate(
+            people, [],
+            [("min", "salary", "lo"), ("max", "salary", "hi"),
+             ("avg", "salary", "mean")],
+        )
+        assert out.rows == [(90, 120, 100.0)]
+
+    def test_global_aggregate_on_empty_input(self):
+        empty = rel(None, ["x"], [])
+        out = ops.aggregate(empty, [], [("count", "*", "n")])
+        assert out.rows == [(0,)]
+
+    def test_grouped_aggregate_on_empty_input(self):
+        empty = rel(None, ["x"], [])
+        out = ops.aggregate(empty, ["x"], [("count", "*", "n")])
+        assert out.rows == []
+
+    def test_unknown_aggregate_rejected(self, people):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            ops.aggregate(people, [], [("median", "salary", "m")])
+
+
+class TestSelectComposition:
+    def test_or_predicate(self, people):
+        out = ops.select(
+            people,
+            or_(col("dept") == lit("os"), col("salary") > lit(110)),
+        )
+        assert [r[0] for r in out.rows] == [2, 3]

@@ -1,0 +1,109 @@
+"""Property-based tests for the relational engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relalg import operators as ops
+from repro.relalg.expressions import col
+from repro.relalg.relation import Relation, rows_equal_as_bags
+from repro.relalg.schema import Column, Schema
+
+small_int = st.integers(0, 6)
+row2 = st.tuples(small_int, small_int)
+rows2 = st.lists(row2, max_size=25)
+
+
+def rel(qualifier: str, rows) -> Relation:
+    return Relation(Schema([Column("k", qualifier), Column("v", qualifier)]), rows)
+
+
+class TestJoinEquivalence:
+    @given(rows2, rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_hash_join_matches_nested_loop(self, left_rows, right_rows):
+        left, right = rel("l", left_rows), rel("r", right_rows)
+        predicate = col("l.k") == col("r.k")
+        hashed = ops.hash_join(left, right, ["l.k"], ["r.k"])
+        nested = ops.nested_loop_join(left, right, predicate)
+        assert rows_equal_as_bags(hashed.rows, nested.rows)
+
+    @given(rows2, rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_semi_plus_anti_partition_left(self, left_rows, right_rows):
+        left, right = rel("l", left_rows), rel("r", right_rows)
+        semi = ops.semi_join(left, right, ["l.k"], ["r.k"])
+        anti = ops.anti_join(left, right, ["l.k"], ["r.k"])
+        assert rows_equal_as_bags(semi.rows + anti.rows, left.rows)
+
+    @given(rows2, rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_outer_join_covers_every_left_row(self, left_rows, right_rows):
+        left, right = rel("l", left_rows), rel("r", right_rows)
+        outer = ops.left_outer_join(left, right, ["l.k"], ["r.k"])
+        left_keys = [row[:2] for row in outer.rows]
+        # Every left row appears at least once (projection of outer rows).
+        for row in left.rows:
+            assert row in left_keys
+
+    @given(rows2, rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_outer_join_null_rows_are_anti_join(self, left_rows, right_rows):
+        left, right = rel("l", left_rows), rel("r", right_rows)
+        outer = ops.left_outer_join(left, right, ["l.k"], ["r.k"])
+        padded = [row[:2] for row in outer.rows if row[2] is None]
+        anti = ops.anti_join(left, right, ["l.k"], ["r.k"])
+        assert rows_equal_as_bags(padded, anti.rows)
+
+
+class TestSetOpsAgainstPython:
+    @given(rows2, rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_except_matches_set_difference(self, a_rows, b_rows):
+        a, b = rel("a", a_rows), rel("b", b_rows)
+        out = ops.except_(a, b)
+        assert set(out.rows) == set(a_rows) - set(b_rows)
+        assert len(out.rows) == len(set(out.rows))  # distinct
+
+    @given(rows2, rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_union_matches_set_union(self, a_rows, b_rows):
+        a, b = rel("a", a_rows), rel("b", b_rows)
+        assert set(ops.union(a, b).rows) == set(a_rows) | set(b_rows)
+
+    @given(rows2, rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_intersect_matches_set_intersection(self, a_rows, b_rows):
+        a, b = rel("a", a_rows), rel("b", b_rows)
+        assert set(ops.intersect(a, b).rows) == set(a_rows) & set(b_rows)
+
+    @given(rows2, rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_except_all_counts(self, a_rows, b_rows):
+        a, b = rel("a", a_rows), rel("b", b_rows)
+        out = ops.except_all(a, b)
+        for row in set(a_rows):
+            expected = max(0, a_rows.count(row) - b_rows.count(row))
+            assert out.rows.count(row) == expected
+
+
+class TestAggregateAgainstPython:
+    @given(rows2)
+    @settings(max_examples=100, deadline=None)
+    def test_grouped_count_and_sum(self, rows):
+        relation = rel("t", rows)
+        out = ops.aggregate(
+            relation, ["k"], [("count", "*", "n"), ("sum", "v", "s")]
+        )
+        expected = {}
+        for k, v in rows:
+            n, s = expected.get(k, (0, 0))
+            expected[k] = (n + 1, s + v)
+        assert {row[0]: (row[1], row[2]) for row in out.rows} == expected
+
+    @given(rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_is_idempotent(self, rows):
+        relation = rel("t", rows)
+        once = ops.distinct(relation)
+        twice = ops.distinct(once)
+        assert once.rows == twice.rows

@@ -1,0 +1,72 @@
+"""Schema and column-resolution tests."""
+
+import pytest
+
+from repro.relalg.schema import Column, Schema, SchemaError
+
+
+class TestColumn:
+    def test_qualified_name(self):
+        assert Column("ta", "requests").qualified_name == "requests.ta"
+        assert Column("ta").qualified_name == "ta"
+
+    def test_matches_with_and_without_qualifier(self):
+        column = Column("ta", "r")
+        assert column.matches("ta")
+        assert column.matches("ta", "r")
+        assert not column.matches("ta", "h")
+        assert not column.matches("id", "r")
+
+
+class TestResolution:
+    def test_resolve_unqualified(self):
+        schema = Schema.of("id", "ta", "object")
+        assert schema.resolve("ta") == 1
+
+    def test_resolve_qualified(self):
+        schema = Schema([Column("ta", "r"), Column("ta", "h")])
+        assert schema.resolve("ta", "r") == 0
+        assert schema.resolve("ta", "h") == 1
+
+    def test_ambiguous_unqualified_raises(self):
+        schema = Schema([Column("ta", "r"), Column("ta", "h")])
+        with pytest.raises(SchemaError, match="ambiguous"):
+            schema.resolve("ta")
+
+    def test_unknown_raises_with_candidates(self):
+        schema = Schema.of("id")
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.resolve("nope")
+
+    def test_has(self):
+        schema = Schema([Column("ta", "r")])
+        assert schema.has("ta")
+        assert schema.has("ta", "r")
+        assert not schema.has("ta", "x")
+
+
+class TestSchemaAlgebra:
+    def test_qualify_requalifies_all(self):
+        schema = Schema.of("a", "b").qualify("x")
+        assert [c.qualified_name for c in schema] == ["x.a", "x.b"]
+
+    def test_unqualified_strips(self):
+        schema = Schema([Column("a", "x")]).unqualified()
+        assert schema.columns[0].qualifier is None
+
+    def test_concat_preserves_order(self):
+        left = Schema.of("a", qualifier="l")
+        right = Schema.of("a", qualifier="r")
+        combined = left.concat(right)
+        assert combined.arity == 2
+        assert combined.resolve("a", "l") == 0
+        assert combined.resolve("a", "r") == 1
+
+    def test_project(self):
+        schema = Schema.of("a", "b", "c")
+        assert Schema.of("c", "a") == schema.project([2, 0])
+
+    def test_equality_and_hash(self):
+        assert Schema.of("a", "b") == Schema.of("a", "b")
+        assert hash(Schema.of("a")) == hash(Schema.of("a"))
+        assert Schema.of("a") != Schema.of("b")

@@ -1,0 +1,68 @@
+"""SQL frontend limits: unsupported constructs fail loudly, not wrongly.
+
+A small engine that silently mis-executes SQL would be worse than none;
+these tests pin the failure mode of everything outside the documented
+subset.
+"""
+
+import pytest
+
+from repro.relalg.sql import SqlError, execute_sql
+from repro.relalg.table import Table
+
+
+@pytest.fixture
+def db():
+    t = Table("t", ["a", "b"])
+    t.insert_many([(1, 2), (3, 4)])
+    return {"t": t}
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        # aggregate functions are not in the subset
+        "SELECT count(a) FROM t",
+        # arithmetic in select lists is not in the subset
+        "SELECT a FROM t WHERE a + 1 = 2",
+        # GROUP BY is not in the subset
+        "SELECT a FROM t GROUP BY a",
+        # INSERT/UPDATE/DELETE are not in the subset
+        "INSERT INTO t VALUES (1, 2)",
+        "DELETE FROM t",
+    ],
+    ids=["aggregate", "arithmetic", "group-by", "insert", "delete"],
+)
+def test_unsupported_constructs_raise(db, query):
+    with pytest.raises(SqlError):
+        execute_sql(query, db)
+
+
+def test_nested_exists_rejected(db):
+    with pytest.raises(SqlError, match="nested EXISTS"):
+        execute_sql(
+            "SELECT a FROM t x WHERE NOT EXISTS ("
+            "SELECT * FROM t y WHERE y.a = x.a AND EXISTS ("
+            "SELECT * FROM t z WHERE z.a = y.a))",
+            db,
+        )
+
+
+def test_exists_with_join_inside_rejected(db):
+    with pytest.raises(SqlError, match="single FROM item"):
+        execute_sql(
+            "SELECT a FROM t x WHERE NOT EXISTS ("
+            "SELECT * FROM t y, t z WHERE y.a = x.a)",
+            db,
+        )
+
+
+def test_computed_select_item_rejected(db):
+    # Only column references (and stars) may appear in SELECT lists.
+    with pytest.raises(SqlError):
+        execute_sql("SELECT 1 FROM t", db)
+
+
+def test_helpful_message_on_unknown_table(db):
+    with pytest.raises(SqlError, match="unknown table 'nope'"):
+        execute_sql("SELECT * FROM nope", db)

@@ -1,0 +1,97 @@
+"""Table storage, indexes and the catalog."""
+
+import pytest
+
+from repro.relalg.table import Catalog, Table, TableError
+
+
+@pytest.fixture
+def table() -> Table:
+    t = Table("t", ["id", "ta", "object"])
+    t.insert_many([(1, 10, 5), (2, 10, 6), (3, 11, 5)])
+    return t
+
+
+class TestMutation:
+    def test_insert_checks_arity(self, table):
+        with pytest.raises(TableError, match="arity"):
+            table.insert((4, 12))
+
+    def test_delete_where(self, table):
+        removed = table.delete_where(lambda row: row[1] == 10)
+        assert removed == 2
+        assert len(table) == 1
+
+    def test_delete_rows_bag_semantics(self):
+        t = Table("t", ["a"])
+        t.insert_many([(1,), (1,), (2,)])
+        assert t.delete_rows([(1,)]) == 1
+        assert sorted(t.rows) == [(1,), (2,)]
+
+    def test_delete_missing_row_is_noop(self, table):
+        assert table.delete_rows([(99, 99, 99)]) == 0
+
+    def test_clear(self, table):
+        table.clear()
+        assert len(table) == 0
+
+
+class TestIndexes:
+    def test_lookup_with_index(self, table):
+        table.create_index("ta")
+        assert sorted(table.lookup(["ta"], [10])) == [(1, 10, 5), (2, 10, 6)]
+
+    def test_lookup_without_index_scans(self, table):
+        assert sorted(table.lookup(["object"], [5])) == [(1, 10, 5), (3, 11, 5)]
+
+    def test_index_maintained_on_insert(self, table):
+        table.create_index("ta")
+        table.insert((4, 10, 7))
+        assert len(table.lookup(["ta"], [10])) == 3
+
+    def test_index_maintained_on_delete(self, table):
+        table.create_index("ta")
+        table.delete_where(lambda row: row[0] == 1)
+        assert len(table.lookup(["ta"], [10])) == 1
+
+    def test_composite_index(self, table):
+        table.create_index("ta", "object")
+        assert table.lookup(["ta", "object"], [11, 5]) == [(3, 11, 5)]
+
+    def test_unknown_index_column(self, table):
+        with pytest.raises(Exception):
+            table.create_index("nope")
+
+
+class TestRelationView:
+    def test_as_relation_snapshot(self, table):
+        relation = table.as_relation()
+        assert relation.cardinality == 3
+        assert relation.schema.resolve("ta", "t") == 1
+
+    def test_as_relation_with_alias(self, table):
+        relation = table.as_relation("x")
+        assert relation.schema.resolve("ta", "x") == 1
+
+    def test_column_values(self, table):
+        assert table.as_relation().column_values("ta") == [10, 10, 11]
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        created = catalog.create("t", ["a"])
+        assert catalog.get("t") is created
+        assert "t" in catalog
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create("t", ["a"])
+        with pytest.raises(TableError, match="already exists"):
+            catalog.create("t", ["a"])
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(TableError, match="unknown table"):
+            Catalog().get("missing")

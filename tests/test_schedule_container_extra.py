@@ -1,0 +1,40 @@
+"""Remaining container/utility behaviours: traces, schedule views."""
+
+from repro.model.request import make_transaction
+from repro.model.schedule import Schedule
+from repro.workload.traces import record_trace
+
+
+class TestScheduleViews:
+    def test_str_rendering(self):
+        txn = make_transaction(1, [("r", 5), ("w", 6)], start_id=1)
+        schedule = Schedule(list(txn))
+        assert str(schedule) == "r1[5] w1[6] c1"
+
+    def test_len_and_iter(self):
+        txn = make_transaction(1, [("r", 5)], start_id=1)
+        schedule = Schedule(list(txn))
+        assert len(schedule) == 2
+        assert [r.id for r in schedule] == [1, 2]
+
+    def test_append_and_extend(self):
+        t1 = make_transaction(1, [("r", 5)], start_id=1)
+        t2 = make_transaction(2, [("w", 6)], start_id=10)
+        schedule = Schedule()
+        schedule.append(t1.requests[0])
+        schedule.extend(t1.requests[1:])
+        schedule.extend(t2.requests)
+        assert schedule.transactions == [1, 2]
+
+
+class TestRecordTrace:
+    def test_zips_times_with_requests(self):
+        txn = make_transaction(1, [("r", 5), ("w", 6)], start_id=1)
+        trace = record_trace(txn.requests, [0.1, 0.2, 0.3])
+        assert len(trace) == 3
+        assert trace.entries[0] == (0.1, txn.requests[0])
+
+    def test_truncates_to_shorter_input(self):
+        txn = make_transaction(1, [("r", 5)], start_id=1)
+        trace = record_trace(txn.requests, [0.1])
+        assert len(trace) == 1

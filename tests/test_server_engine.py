@@ -1,0 +1,202 @@
+"""Simulated DBMS: cost model, data table, MU runs, batch server."""
+
+import pytest
+
+from repro.model.request import Operation, Request
+from repro.server.costmodel import CostModel, PAPER_CALIBRATION
+from repro.server.database import DataTable
+from repro.server.engine import (
+    BatchServer,
+    SimulatedDBMS,
+    single_user_replay_time,
+)
+from repro.workload.spec import WorkloadSpec
+
+SMALL = WorkloadSpec(reads_per_txn=5, writes_per_txn=5, table_rows=500)
+
+
+class TestCostModel:
+    def test_mu_cost_grows_with_clients(self):
+        cost = PAPER_CALIBRATION
+        assert cost.mu_statement_cost(10) < cost.mu_statement_cost(300)
+
+    def test_thrashing_beyond_knee(self):
+        cost = PAPER_CALIBRATION
+        below = cost.mu_statement_cost(cost.mpl_knee)
+        above = cost.mu_statement_cost(cost.mpl_knee + 150)
+        assert above > below * 5  # super-linear blowup
+
+    def test_su_cost_is_bare_statement_cost(self):
+        cost = CostModel()
+        assert cost.su_statement_cost() == cost.statement_cost
+
+    def test_su_replay_time_formula(self):
+        cost = CostModel()
+        assert single_user_replay_time(1000, cost) == pytest.approx(
+            1000 * cost.statement_cost + cost.commit_cost
+        )
+
+    def test_replay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            single_user_replay_time(-1)
+
+    def test_batch_time_linear_in_statements(self):
+        cost = CostModel()
+        t10 = cost.batch_execution_time(10)
+        t20 = cost.batch_execution_time(20)
+        assert t20 - t10 == pytest.approx(10 * cost.statement_cost)
+
+
+class TestDataTable:
+    def test_read_default(self):
+        assert DataTable(10, initial_value=3).read(5) == 3
+
+    def test_write_and_rollback(self):
+        table = DataTable(10)
+        table.write(1, 42, ta=7)
+        table.write(1, 43, ta=7)
+        assert table.read(1) == 43
+        assert table.rollback(7) == 2
+        assert table.read(1) == 0
+
+    def test_commit_discards_undo(self):
+        table = DataTable(10)
+        table.write(1, 42, ta=7)
+        table.commit(7)
+        assert table.rollback(7) == 0
+        assert table.read(1) == 42
+
+    def test_update_is_relative(self):
+        table = DataTable(10, initial_value=5)
+        assert table.update(2, +3) == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(KeyError):
+            DataTable(10).read(10)
+
+    def test_snapshot(self):
+        table = DataTable(10)
+        table.write(1, 9)
+        assert table.snapshot([0, 1]) == {0: 0, 1: 9}
+
+
+class TestMultiUser:
+    def test_single_client_matches_analytics(self):
+        dbms = SimulatedDBMS(SMALL, seed=1)
+        result = dbms.run_multi_user(1, duration=5.0)
+        # One client, no contention: each statement costs the MU rate,
+        # plus one commit per transaction.
+        per_statement = (
+            dbms.cost.mu_statement_cost(1)
+            + dbms.cost.commit_cost / SMALL.statements_per_txn
+        )
+        expected = 5.0 / per_statement
+        assert result.committed_statements == pytest.approx(expected, rel=0.03)
+        assert result.deadlock_aborts == 0
+        assert result.mu_over_su_percent > 100
+
+    def test_determinism(self):
+        a = SimulatedDBMS(SMALL, seed=3).run_multi_user(10, 2.0)
+        b = SimulatedDBMS(SMALL, seed=3).run_multi_user(10, 2.0)
+        assert a.committed_statements == b.committed_statements
+        assert a.lock_waits == b.lock_waits
+
+    def test_seed_changes_results(self):
+        a = SimulatedDBMS(SMALL, seed=3).run_multi_user(10, 2.0)
+        b = SimulatedDBMS(SMALL, seed=4).run_multi_user(10, 2.0)
+        assert (a.committed_statements, a.lock_waits) != (
+            b.committed_statements,
+            b.lock_waits,
+        )
+
+    def test_contention_produces_waits(self):
+        hot = WorkloadSpec(reads_per_txn=2, writes_per_txn=8, table_rows=30)
+        result = SimulatedDBMS(hot, seed=5).run_multi_user(20, 3.0)
+        assert result.lock_waits > 0
+
+    def test_committed_counts_consistent(self):
+        result = SimulatedDBMS(SMALL, seed=2).run_multi_user(5, 2.0)
+        statements_per_txn = SMALL.statements_per_txn
+        assert (
+            result.committed_statements
+            == result.committed_transactions * statements_per_txn
+        )
+        assert result.executed_statements >= result.committed_statements
+
+    def test_invalid_clients(self):
+        with pytest.raises(ValueError):
+            SimulatedDBMS(SMALL).run_multi_user(0, 1.0)
+
+    def test_sweep(self):
+        results = SimulatedDBMS(SMALL, seed=1).sweep([1, 5], duration=1.0)
+        assert [r.clients for r in results] == [1, 5]
+
+    def test_overhead_definition(self):
+        result = SimulatedDBMS(SMALL, seed=1).run_multi_user(5, 2.0)
+        assert result.scheduling_overhead == pytest.approx(
+            result.duration - result.su_replay_time
+        )
+
+
+class TestFigure2Shape:
+    """Coarse shape assertions matching the paper's qualitative curve."""
+
+    def test_ratio_rises_with_clients(self):
+        dbms = SimulatedDBMS(WorkloadSpec(table_rows=100_000), seed=42)
+        low = dbms.run_multi_user(50, duration=20.0)
+        mid = dbms.run_multi_user(300, duration=20.0)
+        assert low.mu_over_su_percent < mid.mu_over_su_percent
+
+    def test_collapse_beyond_knee(self):
+        dbms = SimulatedDBMS(WorkloadSpec(table_rows=100_000), seed=42)
+        at_300 = dbms.run_multi_user(300, duration=240.0)
+        at_500 = dbms.run_multi_user(500, duration=240.0)
+        # Paper: ~124% at 300 clients, ~1600% at 500.
+        assert at_300.mu_over_su_percent < 200
+        assert at_500.mu_over_su_percent > 1000
+        assert at_500.committed_statements < at_300.committed_statements / 5
+
+
+class TestBatchServer:
+    def _requests(self, n):
+        return [
+            Request(i, 1, i - 1, Operation.WRITE, i) for i in range(1, n + 1)
+        ]
+
+    def test_service_time(self):
+        server = BatchServer()
+        service = server.execute_batch(self._requests(10))
+        assert service == pytest.approx(
+            PAPER_CALIBRATION.batch_execution_time(10)
+        )
+
+    def test_counters(self):
+        server = BatchServer()
+        server.execute_batch(self._requests(3))
+        server.execute_batch(self._requests(2))
+        assert server.batches_executed == 2
+        assert server.statements_executed == 5
+
+    def test_terminations_cost_nothing(self):
+        server = BatchServer()
+        commit_only = [Request(1, 1, 0, Operation.COMMIT)]
+        service = server.execute_batch(commit_only)
+        assert service == pytest.approx(PAPER_CALIBRATION.batch_fixed_cost)
+
+    def test_applies_effects_to_table(self):
+        table = DataTable(100)
+        server = BatchServer(table=table)
+        server.execute_batch(
+            [
+                Request(1, 7, 0, Operation.WRITE, 5),
+                Request(2, 7, 1, Operation.COMMIT),
+            ]
+        )
+        assert table.read(5) == 1
+
+    def test_abort_rolls_back(self):
+        table = DataTable(100)
+        server = BatchServer(table=table)
+        server.execute_batch([Request(1, 7, 0, Operation.WRITE, 5)])
+        server.execute_batch([Request(2, 7, 1, Operation.ABORT)])
+        assert table.read(5) == 0

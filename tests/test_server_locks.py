@@ -1,0 +1,154 @@
+"""Lock manager: grants, queues, upgrades, deadlock detection."""
+
+from repro.server.locks import LockManager, LockMode
+
+
+class TestBasicGrants:
+    def test_shared_locks_coexist(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.S)
+        assert locks.acquire(2, 10, LockMode.S)
+        assert locks.waiting_count == 0
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.X)
+        assert not locks.acquire(2, 10, LockMode.S)
+        assert locks.is_waiting(2)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.S)
+        assert not locks.acquire(2, 10, LockMode.X)
+
+    def test_reentrant_acquisition(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.X)
+        assert locks.acquire(1, 10, LockMode.X)
+        assert locks.acquire(1, 10, LockMode.S)  # X subsumes S
+
+    def test_different_objects_independent(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.X)
+        assert locks.acquire(2, 11, LockMode.X)
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_immediately(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.S)
+        assert locks.acquire(1, 10, LockMode.X)
+        assert locks.holds(1, 10) is LockMode.X
+
+    def test_contended_upgrade_waits(self):
+        locks = LockManager()
+        assert locks.acquire(1, 10, LockMode.S)
+        assert locks.acquire(2, 10, LockMode.S)
+        assert not locks.acquire(1, 10, LockMode.X)
+        assert locks.is_waiting(1)
+
+    def test_upgrade_granted_on_release(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.S)
+        locks.acquire(2, 10, LockMode.S)
+        locks.acquire(1, 10, LockMode.X)  # queued upgrade
+        grants = locks.release_all(2)
+        assert [(g.ta, g.obj, g.mode) for g in grants] == [
+            (1, 10, LockMode.X)
+        ]
+
+
+class TestReleaseAndQueue:
+    def test_fifo_grant_order(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 10, LockMode.X)
+        locks.acquire(3, 10, LockMode.X)
+        grants = locks.release_all(1)
+        assert [g.ta for g in grants] == [2]
+        grants = locks.release_all(2)
+        assert [g.ta for g in grants] == [3]
+
+    def test_batched_shared_grants(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 10, LockMode.S)
+        locks.acquire(3, 10, LockMode.S)
+        grants = locks.release_all(1)
+        assert sorted(g.ta for g in grants) == [2, 3]
+
+    def test_writer_not_starved_behind_reader_queue(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 10, LockMode.X)  # queued writer
+        # A reader arriving later must queue behind the writer.
+        assert not locks.acquire(3, 10, LockMode.S)
+        grants = locks.release_all(1)
+        assert [g.ta for g in grants] == [2]
+
+    def test_release_removes_queued_request(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 10, LockMode.X)
+        locks.release_all(2)  # aborting the waiter
+        assert not locks.is_waiting(2)
+        grants = locks.release_all(1)
+        assert grants == []
+
+    def test_locks_held_count(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.S)
+        locks.acquire(1, 11, LockMode.X)
+        assert locks.locks_held(1) == 2
+        locks.release_all(1)
+        assert locks.locks_held(1) == 0
+
+
+class TestDeadlockDetection:
+    def test_two_cycle(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 11, LockMode.X)
+        assert not locks.acquire(1, 11, LockMode.X)
+        assert locks.find_deadlock(1) is None  # no cycle yet
+        assert not locks.acquire(2, 10, LockMode.X)
+        cycle = locks.find_deadlock(2)
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_three_cycle(self):
+        locks = LockManager()
+        for ta, obj in ((1, 10), (2, 11), (3, 12)):
+            locks.acquire(ta, obj, LockMode.X)
+        locks.acquire(1, 11, LockMode.X)
+        locks.acquire(2, 12, LockMode.X)
+        assert locks.find_deadlock(2) is None
+        locks.acquire(3, 10, LockMode.X)
+        cycle = locks.find_deadlock(3)
+        assert cycle is not None and set(cycle) == {1, 2, 3}
+
+    def test_chain_without_cycle(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 10, LockMode.X)
+        locks.acquire(3, 10, LockMode.X)
+        assert locks.find_deadlock(3) is None
+
+    def test_waits_for_includes_queued_ahead(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 10, LockMode.X)
+        locks.acquire(3, 10, LockMode.S)
+        assert 2 in locks.waits_for(3)
+        assert 1 in locks.waits_for(3)
+
+    def test_abort_breaks_cycle(self):
+        locks = LockManager()
+        locks.acquire(1, 10, LockMode.X)
+        locks.acquire(2, 11, LockMode.X)
+        locks.acquire(1, 11, LockMode.X)
+        locks.acquire(2, 10, LockMode.X)
+        assert locks.find_deadlock(1)
+        grants = locks.release_all(2)  # abort T2
+        assert [g.ta for g in grants] == [1]
+        assert locks.find_deadlock(1) is None

@@ -1,0 +1,108 @@
+"""Property-based tests on the lock manager (hypothesis).
+
+Random sequences of acquire/release operations must preserve the lock
+table's safety invariants: no incompatible holders coexist, waiters are
+exactly the not-yet-granted, and releasing everything empties the table.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.locks import LockManager, LockMode
+
+
+@st.composite
+def op_sequence(draw):
+    """A list of (kind, ta, obj) operations over small domains."""
+    ops = []
+    for __ in range(draw(st.integers(1, 40))):
+        kind = draw(st.sampled_from(["acquire_s", "acquire_x", "release"]))
+        ta = draw(st.integers(1, 6))
+        obj = draw(st.integers(1, 4))
+        ops.append((kind, ta, obj))
+    return ops
+
+
+def apply_ops(ops):
+    """Drive a LockManager; skip acquires by already-waiting tas (the
+    real engine never issues those).  Returns the manager and the set of
+    tas that were force-released."""
+    locks = LockManager()
+    for kind, ta, obj in ops:
+        if kind == "release":
+            locks.release_all(ta)
+        elif not locks.is_waiting(ta):
+            mode = LockMode.S if kind == "acquire_s" else LockMode.X
+            locks.acquire(ta, obj, mode)
+    return locks
+
+
+def holders_by_object(locks: LockManager) -> dict[int, dict[int, LockMode]]:
+    return {
+        obj: dict(entry.holders) for obj, entry in locks._table.items()
+    }
+
+
+class TestInvariants:
+    @given(op_sequence())
+    @settings(max_examples=150, deadline=None)
+    def test_no_incompatible_holders(self, ops):
+        locks = apply_ops(ops)
+        for obj, holders in holders_by_object(locks).items():
+            writers = [ta for ta, m in holders.items() if m is LockMode.X]
+            if writers:
+                assert len(holders) == 1, (
+                    f"object {obj}: X holder coexists with others: {holders}"
+                )
+
+    @given(op_sequence())
+    @settings(max_examples=150, deadline=None)
+    def test_waiters_hold_consistent_state(self, ops):
+        locks = apply_ops(ops)
+        for obj, entry in locks._table.items():
+            for queued in entry.queue:
+                # A queued request's ta must be registered as waiting on
+                # exactly this object.
+                assert locks._waiting.get(queued.ta) == obj
+
+    @given(op_sequence())
+    @settings(max_examples=100, deadline=None)
+    def test_release_everything_empties_table(self, ops):
+        locks = apply_ops(ops)
+        for ta in range(1, 7):
+            locks.release_all(ta)
+        assert not locks._table
+        assert locks.waiting_count == 0
+
+    @given(op_sequence())
+    @settings(max_examples=100, deadline=None)
+    def test_deadlock_detection_never_crashes_and_cycles_are_real(self, ops):
+        locks = apply_ops(ops)
+        for ta in range(1, 7):
+            cycle = locks.find_deadlock(ta)
+            if cycle is None:
+                continue
+            # Every member of a reported cycle waits for the next.
+            for i, member in enumerate(cycle):
+                successor = cycle[(i + 1) % len(cycle)]
+                assert successor in locks.waits_for(member)
+
+    @given(op_sequence())
+    @settings(max_examples=100, deadline=None)
+    def test_grant_cascade_respects_compatibility(self, ops):
+        locks = apply_ops(ops)
+        # Release all current holders at once; grants must never create
+        # incompatible co-holders.
+        holders = {
+            ta
+            for entry in locks._table.values()
+            for ta in entry.holders
+        }
+        for ta in list(holders):
+            locks.release_all(ta)
+            for obj, entry_holders in holders_by_object(locks).items():
+                writers = [
+                    t for t, m in entry_holders.items() if m is LockMode.X
+                ]
+                if writers:
+                    assert len(entry_holders) == 1

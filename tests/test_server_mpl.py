@@ -1,0 +1,50 @@
+"""External MPL admission control on the simulated server."""
+
+import pytest
+
+from repro.server.engine import SimulatedDBMS
+from repro.workload.spec import WorkloadSpec
+
+SMALL = WorkloadSpec(reads_per_txn=4, writes_per_txn=4, table_rows=2_000)
+
+
+class TestMplCap:
+    def test_validation(self):
+        dbms = SimulatedDBMS(SMALL)
+        with pytest.raises(ValueError, match="mpl_cap"):
+            dbms.run_multi_user(10, 1.0, mpl_cap=0)
+
+    def test_cap_larger_than_clients_is_noop(self):
+        dbms = SimulatedDBMS(SMALL, seed=1)
+        plain = dbms.run_multi_user(10, 2.0)
+        capped = dbms.run_multi_user(10, 2.0, mpl_cap=100)
+        assert capped.committed_statements == plain.committed_statements
+
+    def test_cap_reduces_effective_statement_cost_pressure(self):
+        # With a cost model that penalizes MPL, capping must not *hurt*
+        # throughput for CPU-bound workloads.
+        dbms = SimulatedDBMS(SMALL, seed=2)
+        uncapped = dbms.run_multi_user(30, 2.0)
+        capped = dbms.run_multi_user(30, 2.0, mpl_cap=10)
+        assert capped.committed_statements >= uncapped.committed_statements * 0.9
+
+    def test_cap_one_serializes_transactions(self):
+        dbms = SimulatedDBMS(SMALL, seed=3)
+        result = dbms.run_multi_user(5, 2.0, mpl_cap=1)
+        # One transaction at a time: zero lock waits, zero deadlocks.
+        assert result.lock_waits == 0
+        assert result.deadlock_aborts == 0
+        assert result.committed_transactions > 0
+
+    def test_cap_restores_throughput_past_knee(self):
+        from repro.workload.spec import PAPER_WORKLOAD
+
+        dbms = SimulatedDBMS(PAPER_WORKLOAD, seed=42)
+        uncapped = dbms.run_multi_user(450, 60.0)
+        capped = dbms.run_multi_user(450, 60.0, mpl_cap=300)
+        assert capped.committed_statements > uncapped.committed_statements
+
+    def test_determinism_with_cap(self):
+        a = SimulatedDBMS(SMALL, seed=5).run_multi_user(12, 2.0, mpl_cap=4)
+        b = SimulatedDBMS(SMALL, seed=5).run_multi_user(12, 2.0, mpl_cap=4)
+        assert a.committed_statements == b.committed_statements

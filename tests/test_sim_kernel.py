@@ -1,0 +1,154 @@
+"""Discrete-event kernel: queue, clock, simulator, RNG streams."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock, WallClock
+from repro.sim.events import EventQueue
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while (event := q.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_resolve_in_push_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.push(1.0, lambda n=name: fired.append(n))
+        while (event := q.pop()) is not None:
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancel_skips_event(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.cancel(event)
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(first)
+        assert q.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestVirtualClock:
+    def test_monotonic(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1.0)
+
+    def test_wall_clock_advances(self):
+        wall = WallClock()
+        assert wall.now <= wall.now
+
+
+class TestSimulator:
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [1.0, 2.0]
+        assert sim.now == 10.0
+
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run_until(2.0)
+        assert seen == []
+        assert sim.now == 2.0
+        sim.run_until(10.0)
+        assert seen == ["late"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append((sim.now, n))
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run_to_completion()
+        assert seen == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.5, lambda: None)
+
+    def test_determinism(self):
+        def run() -> list[float]:
+            sim = Simulator()
+            log = []
+            for i in range(10):
+                sim.schedule(i * 0.1, lambda i=i: log.append((sim.now, i)))
+            sim.run_to_completion()
+            return log
+
+        assert run() == run()
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run_to_completion(max_events=1000)
+
+
+class TestRandomStreams:
+    def test_streams_deterministic_per_name(self):
+        a = RandomStreams(42).stream("workload")
+        b = RandomStreams(42).stream("workload")
+        assert [a.random() for __ in range(5)] == [b.random() for __ in range(5)]
+
+    def test_streams_independent_across_names(self):
+        streams = RandomStreams(42)
+        x = [streams.stream("x").random() for __ in range(5)]
+        y = [streams.stream("y").random() for __ in range(5)]
+        assert x != y
+
+    def test_different_master_seeds_differ(self):
+        a = RandomStreams(1).stream("s")
+        b = RandomStreams(2).stream("s")
+        assert [a.random() for __ in range(5)] != [b.random() for __ in range(5)]
+
+    def test_reset_restores_sequences(self):
+        streams = RandomStreams(7)
+        first = [streams.stream("s").random() for __ in range(5)]
+        streams.reset()
+        second = [streams.stream("s").random() for __ in range(5)]
+        assert first == second

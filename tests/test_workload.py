@@ -1,0 +1,201 @@
+"""Workload generation: specs, factories, streams, populations, traces."""
+
+import random
+
+import pytest
+
+from repro.model.request import Operation
+from repro.workload.clients import ClientPopulation, ClientProfile, SLA_TIERS
+from repro.workload.generator import TransactionFactory, request_stream
+from repro.workload.spec import PAPER_WORKLOAD, WorkloadSpec
+from repro.workload.traces import Trace, replay_statement_count
+
+from tests.conftest import request
+
+
+class TestSpec:
+    def test_paper_workload_parameters(self):
+        assert PAPER_WORKLOAD.reads_per_txn == 20
+        assert PAPER_WORKLOAD.writes_per_txn == 20
+        assert PAPER_WORKLOAD.table_rows == 100_000
+        assert PAPER_WORKLOAD.zipf_theta is None
+        assert PAPER_WORKLOAD.statements_per_txn == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(reads_per_txn=-1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(reads_per_txn=0, writes_per_txn=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(table_rows=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(interleave="sideways")
+        with pytest.raises(ValueError):
+            WorkloadSpec(reads_per_txn=10, writes_per_txn=10, table_rows=5)
+
+
+class TestTransactionFactory:
+    def test_profile_counts(self):
+        factory = TransactionFactory(PAPER_WORKLOAD, random.Random(1))
+        profile = factory.next_profile()
+        assert len(profile) == 40
+        reads = sum(1 for s in profile if s.operation is Operation.READ)
+        assert reads == 20
+
+    def test_distinct_objects(self):
+        spec = WorkloadSpec(reads_per_txn=10, writes_per_txn=10, table_rows=50)
+        factory = TransactionFactory(spec, random.Random(1))
+        for __ in range(20):
+            profile = factory.next_profile()
+            objects = [s.obj for s in profile]
+            assert len(set(objects)) == len(objects)
+
+    def test_objects_within_table(self):
+        spec = WorkloadSpec(reads_per_txn=5, writes_per_txn=5, table_rows=30)
+        factory = TransactionFactory(spec, random.Random(1))
+        for __ in range(10):
+            assert all(0 <= s.obj < 30 for s in factory.next_profile())
+
+    def test_reads_first_interleave(self):
+        spec = WorkloadSpec(
+            reads_per_txn=3, writes_per_txn=3, interleave="reads_first"
+        )
+        profile = TransactionFactory(spec, random.Random(1)).next_profile()
+        ops = [s.operation for s in profile]
+        assert ops == [Operation.READ] * 3 + [Operation.WRITE] * 3
+
+    def test_alternating_interleave(self):
+        spec = WorkloadSpec(
+            reads_per_txn=2, writes_per_txn=3, interleave="alternating"
+        )
+        profile = TransactionFactory(spec, random.Random(1)).next_profile()
+        ops = [s.operation for s in profile]
+        assert ops == [
+            Operation.READ, Operation.WRITE, Operation.READ,
+            Operation.WRITE, Operation.WRITE,
+        ]
+
+    def test_zipf_skews_toward_low_ranks(self):
+        spec = WorkloadSpec(
+            reads_per_txn=1, writes_per_txn=0, table_rows=1000,
+            zipf_theta=1.2, distinct_objects=False,
+        )
+        factory = TransactionFactory(spec, random.Random(1))
+        samples = [factory.next_profile()[0].obj for __ in range(2000)]
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.3  # top-1% rows get >30% of hits
+
+    def test_deterministic_given_seed(self):
+        a = TransactionFactory(PAPER_WORKLOAD, random.Random(5)).next_profile()
+        b = TransactionFactory(PAPER_WORKLOAD, random.Random(5)).next_profile()
+        assert [(s.operation, s.obj) for s in a] == [
+            (s.operation, s.obj) for s in b
+        ]
+
+
+class TestRequestStream:
+    SPEC = WorkloadSpec(reads_per_txn=2, writes_per_txn=1, table_rows=100)
+
+    def test_finite_stream_length(self):
+        stream = list(
+            request_stream(
+                self.SPEC, random.Random(1), clients=3,
+                transactions_per_client=2,
+            )
+        )
+        # 3 clients x 2 txns x (3 statements + commit).
+        assert len(stream) == 3 * 2 * 4
+
+    def test_ids_unique_and_increasing(self):
+        stream = list(
+            request_stream(
+                self.SPEC, random.Random(1), clients=3,
+                transactions_per_client=2,
+            )
+        )
+        ids = [r.id for r in stream]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    def test_transactions_well_formed(self):
+        stream = list(
+            request_stream(
+                self.SPEC, random.Random(1), clients=2,
+                transactions_per_client=3,
+            )
+        )
+        by_ta: dict[int, list] = {}
+        for r in stream:
+            by_ta.setdefault(r.ta, []).append(r)
+        for requests in by_ta.values():
+            requests.sort(key=lambda r: r.intrata)
+            assert [r.intrata for r in requests] == list(range(4))
+            assert requests[-1].operation is Operation.COMMIT
+
+    def test_round_robin_interleaving(self):
+        stream = request_stream(
+            self.SPEC, random.Random(1), clients=3,
+            transactions_per_client=1,
+        )
+        first_three = [next(stream) for __ in range(3)]
+        assert len({r.ta for r in first_three}) == 3
+
+    def test_attrs_callback(self):
+        from repro.model.request import RequestAttributes
+
+        stream = request_stream(
+            self.SPEC, random.Random(1), clients=2,
+            transactions_per_client=1,
+            attrs_for_client=lambda i: RequestAttributes(
+                client_id=i, sla_class="premium" if i == 0 else "free"
+            ),
+        )
+        classes = {r.attrs.client_id: r.attrs.sla_class for r in stream}
+        assert classes == {0: "premium", 1: "free"}
+
+
+class TestClientPopulation:
+    def test_counts_match_shares(self):
+        population = ClientPopulation(SLA_TIERS)
+        counts = population.counts(100)
+        assert counts["premium"] == 20
+        assert counts["free"] == 80
+
+    def test_prefix_proportionality(self):
+        population = ClientPopulation(SLA_TIERS)
+        counts = population.counts(10)
+        assert counts["premium"] == 2
+
+    def test_attributes_for(self):
+        population = ClientPopulation(SLA_TIERS)
+        attrs = population.attributes_for(0)
+        assert attrs.sla_class in ("premium", "free")
+        assert attrs.priority > 0
+
+    def test_single_tier(self):
+        only = ClientPopulation([ClientProfile("all", priority=1)])
+        assert only.counts(7) == {"all": 7}
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            ClientPopulation([])
+        with pytest.raises(ValueError):
+            ClientPopulation([ClientProfile("x", 1, share=0.0)])
+
+
+class TestTrace:
+    def test_statement_counting(self):
+        trace = Trace()
+        trace.record(0.1, request(1, 1, 0, "w", 5))
+        trace.record(0.2, request(2, 1, 1, "c"))
+        trace.record(0.3, request(3, 2, 0, "r", 6))
+        assert trace.statement_count() == 2
+        assert trace.statement_count(committed_only=True) == 1
+        assert replay_statement_count(trace) == 1
+
+    def test_iteration_order(self):
+        trace = Trace()
+        trace.record(0.1, request(1, 1, 0, "w", 5))
+        trace.record(0.2, request(2, 1, 1, "c"))
+        times = [t for t, __ in trace]
+        assert times == [0.1, 0.2]
+        assert len(trace) == 2

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Perf smoke: per-step scheduler query cost, interpreted vs compiled.
+
+Writes ``BENCH_scheduler_step.json`` at the repository root (or to the
+path given as the first argument) so successive changes to the relalg
+engine leave a comparable perf trajectory.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_step.py
+
+The workload is the E5 declarative-overhead operating point driven for
+ten steps at three history sizes; batches are verified identical
+between the two evaluation strategies before any number is reported.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.bench.scheduler_step import (  # noqa: E402
+    render_scheduler_step_report,
+    write_scheduler_step_bench,
+)
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_scheduler_step.json"
+)
+
+
+def main(argv: list[str]) -> int:
+    output = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    report = write_scheduler_step_bench(str(output))
+    print(render_scheduler_step_report(report))
+    print(f"\nwrote {output}")
+    slowest = min(p["speedup"] for p in report["points"])
+    print(f"minimum speedup across history sizes: {slowest}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -17,14 +17,23 @@ def test_language_ablation_report(benchmark):
         iterations=1,
     )
     emit(report)
-    for name in ("ss2pl-listing1", "ss2pl-datalog", "sdl:ss2pl", "ss2pl-sql"):
+    for name in (
+        "relalg interpreted",
+        "relalg compiled plan",
+        "datalog",
+        "sdl",
+        "sqlite3",
+        "sqlfront compiled plan",
+    ):
         assert name in report
 
 
 @pytest.mark.parametrize(
-    "protocol", backends(), ids=lambda p: p.name
+    "label,protocol", backends(), ids=lambda value: (
+        value if isinstance(value, str) else ""
+    )
 )
-def test_backend_query_time(benchmark, protocol):
+def test_backend_query_time(benchmark, label, protocol):
     """Per-backend timing of one SS2PL evaluation at 300 clients."""
     incoming, history = paper_snapshot(300)
     pending_store = PendingStore()

@@ -1,0 +1,30 @@
+"""Per-step query cost: interpreted Listing 1 vs cached compiled plan.
+
+The JSON artefact (``BENCH_scheduler_step.json``) is produced by
+``benchmarks/bench_scheduler_step.py``; this wrapper runs the same
+measurement at reduced scale under pytest-benchmark and pins the two
+contracts: identical batches, and the compiled plan not slower."""
+
+from repro.bench.scheduler_step import (
+    render_scheduler_step_report,
+    write_scheduler_step_bench,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_scheduler_step_bench_report(benchmark, tmp_path):
+    output = tmp_path / "BENCH_scheduler_step.json"
+    report = benchmark.pedantic(
+        write_scheduler_step_bench,
+        args=(str(output),),
+        kwargs={"client_counts": (100, 300), "steps": 6},
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_scheduler_step_report(report))
+    assert output.exists()
+    assert all(p["batches_identical"] for p in report["points"])
+    # 7x is typical; >1 guards against regression without host noise
+    # flakiness.
+    assert min(p["speedup"] for p in report["points"]) > 1.0

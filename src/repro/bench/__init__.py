@@ -36,6 +36,11 @@ from repro.bench.productivity import run_productivity
 from repro.bench.sla_adaptive import run_sla_bench, run_adaptive_bench
 from repro.bench.incremental_ablation import run_incremental_ablation, drive_steps
 from repro.bench.mpl_ablation import run_mpl_ablation
+from repro.bench.scheduler_step import (
+    run_scheduler_step_bench,
+    render_scheduler_step_report,
+    write_scheduler_step_bench,
+)
 
 __all__ = [
     "run_table1",
@@ -54,4 +59,7 @@ __all__ = [
     "run_incremental_ablation",
     "drive_steps",
     "run_mpl_ablation",
+    "run_scheduler_step_bench",
+    "render_scheduler_step_report",
+    "write_scheduler_step_bench",
 ]

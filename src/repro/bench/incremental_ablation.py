@@ -119,7 +119,12 @@ def run_incremental_ablation(
     clients: int = 200, steps: int = 30, seed: int = 13
 ) -> str:
     recompute = drive_steps(
-        PaperListing1Protocol(), clients=clients, steps=steps, seed=seed
+        PaperListing1Protocol(compiled=False),
+        clients=clients, steps=steps, seed=seed,
+    )
+    compiled = drive_steps(
+        PaperListing1Protocol(compiled=True),
+        clients=clients, steps=steps, seed=seed,
     )
     incremental = drive_steps(
         SS2PLIncrementalProtocol(), clients=clients, steps=steps, seed=seed
@@ -127,6 +132,10 @@ def run_incremental_ablation(
     if recompute.batches != incremental.batches:
         raise AssertionError(
             "incremental SS2PL diverged from Listing 1 recomputation"
+        )
+    if recompute.batches != compiled.batches:
+        raise AssertionError(
+            "compiled plan diverged from Listing 1 recomputation"
         )
     speedup = (
         recompute.per_step_ms / incremental.per_step_ms
@@ -136,8 +145,11 @@ def run_incremental_ablation(
     table = render_table(
         ["evaluation strategy", "steps", "qualified total", "per-step (ms)"],
         [
-            ("recompute Listing 1 each step", recompute.steps,
+            ("recompute Listing 1 each step (interpreted)", recompute.steps,
              recompute.total_qualified, round(recompute.per_step_ms, 2)),
+            ("cached compiled plan (delta-maintained builds)",
+             compiled.steps, compiled.total_qualified,
+             round(compiled.per_step_ms, 2)),
             ("incremental lock-view maintenance", incremental.steps,
              incremental.total_qualified, round(incremental.per_step_ms, 2)),
         ],

@@ -3,10 +3,13 @@
 The paper's research question 1 (Section 1): "To what extent can
 existing query languages be used to capture typical constraints on
 request schedules?" and question 2, their performance.  The same SS2PL
-rule runs on four backends — our relational algebra (Listing 1 shape),
+rule runs on several backends — our relational algebra (Listing 1
+shape, both the interpreted pipeline and the cached compiled plan),
 our Datalog engine, the compiled SDL mini-language, and sqlite3
 executing the paper's literal SQL — over the same snapshots; results
-are checked identical and timed.
+are checked identical and timed.  Each backend gets one untimed warmup
+evaluation per snapshot so plan-caching backends report steady-state
+per-step cost (their one-time compilation happens in the warmup).
 """
 
 from __future__ import annotations
@@ -25,13 +28,17 @@ from repro.protocols.ss2pl_sql import SS2PLSqlProtocol
 from repro.protocols.ss2pl_sqlfront import SqlFrontendSS2PLProtocol
 
 
-def backends() -> list[Protocol]:
+def backends() -> list[tuple[str, Protocol]]:
+    """(label, protocol) pairs; labels disambiguate the two evaluation
+    strategies of the relalg and SQL-frontend backends."""
     return [
-        PaperListing1Protocol(),
-        SS2PLDatalogProtocol(),
-        SDLProtocol(SDL_SS2PL),
-        SS2PLSqlProtocol(),
-        SqlFrontendSS2PLProtocol(),
+        ("relalg interpreted", PaperListing1Protocol(compiled=False)),
+        ("relalg compiled plan", PaperListing1Protocol(compiled=True)),
+        ("datalog", SS2PLDatalogProtocol()),
+        ("sdl", SDLProtocol(SDL_SS2PL)),
+        ("sqlite3", SS2PLSqlProtocol()),
+        ("sqlfront interpreted", SqlFrontendSS2PLProtocol(compiled=False)),
+        ("sqlfront compiled plan", SqlFrontendSS2PLProtocol(compiled=True)),
     ]
 
 
@@ -44,7 +51,7 @@ def run_language_ablation(
     rows = []
     for clients in client_counts:
         reference: list[int] | None = None
-        for protocol in protocols:
+        for label, protocol in protocols:
             elapsed: list[float] = []
             qualified_count = 0
             for rep in range(repetitions):
@@ -53,6 +60,9 @@ def run_language_ablation(
                 history_store = HistoryStore()
                 pending_store.insert_batch(incoming)
                 history_store.record_batch(history)
+                protocol.schedule(  # untimed warmup (plan compilation)
+                    pending_store.table, history_store.table
+                )
                 started = time.perf_counter()
                 decision = protocol.schedule(
                     pending_store.table, history_store.table
@@ -65,14 +75,14 @@ def run_language_ablation(
                         reference = ids
                     elif ids != reference:
                         raise AssertionError(
-                            f"backend {protocol.name} disagrees at "
+                            f"backend {label} disagrees at "
                             f"{clients} clients: {len(ids)} vs "
                             f"{len(reference)} qualified"
                         )
             rows.append(
                 (
                     clients,
-                    protocol.name,
+                    label,
                     round(min(elapsed) * 1000, 2),
                     round(sum(elapsed) / len(elapsed) * 1000, 2),
                     qualified_count,
@@ -83,8 +93,9 @@ def run_language_ablation(
         ["clients", "backend", "best (ms)", "mean (ms)", "qualified"],
         rows,
         title=(
-            "Language-backend ablation: identical SS2PL rule, five "
-            "evaluators (outputs verified equal per client count)"
+            "Language-backend ablation: identical SS2PL rule, "
+            "interpreted and compiled evaluators (outputs verified "
+            "equal per client count)"
         ),
     )
     return table

@@ -1,0 +1,201 @@
+"""Per-step scheduler query cost: interpreted pipeline vs compiled plan.
+
+The plan-compilation layer (:mod:`repro.relalg.plan`) claims that a
+protocol's declarative query needs *analyzing* once and only
+*executing* per scheduler step.  This bench pins that claim to a
+number: it drives the live scheduler over the E5 operating point
+(Section 4.3.1's snapshot — one open request per client, twenty
+executed statements per transaction in history, no committed
+transactions) for a fixed number of steps, once with the eager
+interpreted Listing 1 pipeline and once with the cached compiled plan,
+and reports the median per-step ``query_seconds`` of each at several
+history sizes.
+
+Outputs are written by ``benchmarks/bench_scheduler_step.py`` to
+``BENCH_scheduler_step.json`` so future changes have a perf trajectory
+to compare against.  Qualified batches are asserted identical between
+the two modes — this is a pure evaluation-strategy ablation, the rule
+never changes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.bench.declarative_overhead import paper_snapshot
+from repro.core.scheduler import DeclarativeScheduler, SchedulerConfig
+from repro.core.triggers import FillLevelTrigger
+from repro.metrics.reporting import render_table
+from repro.model.request import Operation, Request
+from repro.protocols.base import Protocol
+from repro.protocols.ss2pl import SS2PLRelalgProtocol
+
+
+@dataclass
+class StepCostResult:
+    """Per-step query cost of one protocol over one driven workload."""
+
+    clients: int
+    steps: int
+    history_rows: int
+    query_seconds: list[float] = field(default_factory=list)
+    batches: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def median_seconds(self) -> float:
+        """Median per-step query time, excluding the first step (which
+        pays one-time plan compilation on the compiled path)."""
+        tail = self.query_seconds[1:] or self.query_seconds
+        return statistics.median(tail)
+
+    @property
+    def first_step_seconds(self) -> float:
+        return self.query_seconds[0] if self.query_seconds else 0.0
+
+
+def measure_step_costs(
+    protocol: Protocol,
+    clients: int,
+    steps: int = 10,
+    seed: int = 7,
+    table_rows: int = 100_000,
+) -> StepCostResult:
+    """Drive *steps* scheduler steps at the E5 operating point.
+
+    The scheduler starts from the paper's snapshot (``clients`` open
+    requests over ``clients * 20`` history rows, pruning disabled as in
+    Section 4.3.1) and each following step re-submits one next request
+    per transaction that executed something — a steady stream at a
+    roughly constant pending size over a growing history.
+    """
+    incoming, history = paper_snapshot(clients, seed=seed)
+    scheduler = DeclarativeScheduler(
+        protocol,
+        trigger=FillLevelTrigger(1),
+        config=SchedulerConfig(prune_history=False),
+    )
+    scheduler.history.record_batch(history)
+    rng = random.Random(seed + 1)
+    next_id = max(r.id for r in incoming) + 1
+    next_intrata = {r.ta: r.intrata for r in incoming}
+
+    result = StepCostResult(
+        clients=clients, steps=steps, history_rows=len(history)
+    )
+    wave = list(incoming)
+    for __ in range(steps):
+        for request in wave:
+            scheduler.submit(request)
+        step = scheduler.step()
+        result.query_seconds.append(step.query_seconds)
+        result.batches.append(tuple(r.id for r in step.qualified))
+        wave = []
+        for request in step.qualified:
+            next_intrata[request.ta] = next_intrata.get(request.ta, 0) + 1
+            op = Operation.WRITE if rng.random() < 0.5 else Operation.READ
+            wave.append(
+                Request(
+                    next_id,
+                    request.ta,
+                    next_intrata[request.ta],
+                    op,
+                    rng.randrange(table_rows),
+                )
+            )
+            next_id += 1
+    result.history_rows = len(scheduler.history)
+    return result
+
+
+def run_scheduler_step_bench(
+    client_counts: Sequence[int] = (100, 300, 500),
+    steps: int = 10,
+    seed: int = 7,
+) -> dict:
+    """Interpreted-vs-compiled per-step cost at several history sizes.
+
+    Returns a JSON-serializable report; raises if the two evaluation
+    strategies ever emit different batches.
+    """
+    points = []
+    for clients in client_counts:
+        interpreted = measure_step_costs(
+            SS2PLRelalgProtocol(compiled=False), clients, steps=steps, seed=seed
+        )
+        compiled = measure_step_costs(
+            SS2PLRelalgProtocol(compiled=True), clients, steps=steps, seed=seed
+        )
+        if interpreted.batches != compiled.batches:
+            raise AssertionError(
+                f"compiled plan diverged from interpreted pipeline at "
+                f"{clients} clients"
+            )
+        speedup = (
+            interpreted.median_seconds / compiled.median_seconds
+            if compiled.median_seconds
+            else float("inf")
+        )
+        points.append(
+            {
+                "clients": clients,
+                "initial_history_rows": clients * 20,
+                "final_history_rows": compiled.history_rows,
+                "steps": steps,
+                "interpreted_median_step_s": round(
+                    interpreted.median_seconds, 6
+                ),
+                "compiled_median_step_s": round(compiled.median_seconds, 6),
+                "compiled_first_step_s": round(
+                    compiled.first_step_seconds, 6
+                ),
+                "speedup": round(speedup, 2),
+                "batches_identical": True,
+            }
+        )
+    return {
+        "benchmark": "scheduler_step",
+        "protocol": SS2PLRelalgProtocol.name,
+        "workload": "E5 declarative-overhead snapshot, steady stream",
+        "metric": "median per-step query_seconds (first step excluded)",
+        "points": points,
+    }
+
+
+def render_scheduler_step_report(report: dict) -> str:
+    rows = [
+        (
+            p["clients"],
+            p["final_history_rows"],
+            round(p["interpreted_median_step_s"] * 1000, 2),
+            round(p["compiled_median_step_s"] * 1000, 2),
+            f"{p['speedup']}x",
+        )
+        for p in report["points"]
+    ]
+    return render_table(
+        ["clients", "history rows", "interpreted (ms)", "compiled (ms)",
+         "speedup"],
+        rows,
+        title=(
+            "Per-step protocol query cost: interpreted Listing 1 pipeline "
+            "vs cached compiled plan (identical batches verified)"
+        ),
+    )
+
+
+def write_scheduler_step_bench(
+    path: str,
+    client_counts: Sequence[int] = (100, 300, 500),
+    steps: int = 10,
+    seed: int = 7,
+) -> dict:
+    """Run the bench and write *path* (``BENCH_scheduler_step.json``)."""
+    report = run_scheduler_step_bench(client_counts, steps=steps, seed=seed)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

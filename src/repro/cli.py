@@ -28,6 +28,8 @@ from repro.bench import (
     run_language_ablation,
     run_mpl_ablation,
     run_productivity,
+    run_scheduler_step_bench,
+    render_scheduler_step_report,
     run_sla_bench,
     run_table1,
     run_table2,
@@ -54,8 +56,12 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], str], Callable[[], str]]] = {
     ),
     "E5": (
         "Section 4.3.2: declarative scheduling overhead",
-        lambda: run_declarative_overhead(),
-        lambda: run_declarative_overhead(client_counts=(300, 500), repetitions=1),
+        lambda: run_declarative_overhead(include_compiled_comparison=True),
+        lambda: run_declarative_overhead(
+            client_counts=(300, 500),
+            repetitions=1,
+            include_compiled_comparison=True,
+        ),
     ),
     "E6": (
         "Section 4.4: native-vs-declarative crossover",
@@ -93,6 +99,13 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], str], Callable[[], str]]] = {
         "Ablation: external MPL admission control",
         lambda: run_mpl_ablation(),
         lambda: run_mpl_ablation(duration=60.0, caps=(None, 300)),
+    ),
+    "E13": (
+        "Ablation: interpreted pipeline vs compiled query plan",
+        lambda: render_scheduler_step_report(run_scheduler_step_bench()),
+        lambda: render_scheduler_step_report(
+            run_scheduler_step_bench(client_counts=(100, 300), steps=6)
+        ),
     ),
 }
 

@@ -132,9 +132,18 @@ class DeclarativeScheduler:
         pending_before = len(self.pending)
         history_rows = len(self.history)
 
-        started = time.perf_counter()
-        decision = self.protocol.schedule(self.pending.table, self.history.table)
-        query_seconds = time.perf_counter() - started
+        if pending_before == 0:
+            # Nothing to schedule: skip the protocol query entirely (and
+            # charge no query_seconds) — an empty pending table always
+            # yields an empty batch.
+            decision = ProtocolDecision()
+            query_seconds = 0.0
+        else:
+            started = time.perf_counter()
+            decision = self.protocol.schedule(
+                self.pending.table, self.history.table
+            )
+            query_seconds = time.perf_counter() - started
 
         qualified = [self.pending.rehydrate(r) for r in decision.qualified]
         if self.config.max_batch is not None:

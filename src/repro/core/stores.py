@@ -30,6 +30,10 @@ class PendingStore:
     def __init__(self) -> None:
         self.table = _new_table("requests")
         self.table.create_index("ta")
+        # Listing 1's intra-batch self-join keys on object; the compiled
+        # plan (repro.relalg.plan) probes this index directly instead of
+        # rebuilding a hash table per scheduler step.
+        self.table.create_index("object")
 
     def insert_batch(self, requests: Iterable[Request]) -> int:
         count = 0

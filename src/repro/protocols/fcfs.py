@@ -15,6 +15,7 @@ from repro.protocols.base import (
     register_protocol,
     requests_from_relation,
 )
+from repro.relalg.plan import PlanCache
 from repro.relalg.query import Query
 from repro.relalg.table import Table
 
@@ -33,8 +34,16 @@ class FCFSProtocol(Protocol):
     )
     declarative_source = FCFS_RULES
 
+    def __init__(self) -> None:
+        self._plans = PlanCache(
+            lambda requests: Query.from_(requests).order_by("id")
+        )
+
+    def reset(self) -> None:
+        self._plans.clear()
+
     def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        relation = Query.from_(requests).order_by("id").execute()
+        relation = self._plans.get(requests).execute()
         return ProtocolDecision(qualified=requests_from_relation(relation.rows))
 
 

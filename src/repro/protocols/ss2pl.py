@@ -29,7 +29,8 @@ from repro.protocols.base import (
     requests_from_relation,
 )
 from repro.relalg.expressions import col, is_null, lit, or_
-from repro.relalg.query import Pipeline, Query
+from repro.relalg.plan import PlanCache
+from repro.relalg.query import Pipeline, Query, cte
 from repro.relalg.table import Table
 
 #: The literal SQL of the paper's Listing 1 (kept here as the protocol's
@@ -208,7 +209,128 @@ def listing1_pipeline(requests: Table, history: Table) -> Pipeline:
     return p
 
 
-class PaperListing1Protocol(Protocol):
+def listing1_query(requests: Table, history: Table) -> Query:
+    """Listing 1 as one *deferred* plan DAG over live tables.
+
+    Where :func:`listing1_pipeline` materializes each CTE eagerly (and
+    therefore must be rebuilt per scheduler step), this form contains no
+    snapshots: compiled once via :meth:`Query.compile`, the resulting
+    plan is re-executable against the tables' current contents every
+    step.  Shared CTEs (``FinishedTAs`` feeds both lock views) are
+    single nodes, computed at most once per execution.
+    """
+    # Read locks: history rows `a` whose transaction neither wrote the
+    # same object nor terminated.
+    writes_same_obj = cte(
+        Query.from_(history, alias="b")
+        .where(col("b.operation") == lit("w"))
+        .select("b.ta", "b.object"),
+        "WritesSameObject",
+    )
+    finished = cte(
+        Query.from_(history, alias="f")
+        .where(or_(col("f.operation") == lit("a"), col("f.operation") == lit("c")))
+        .select("f.ta")
+        .distinct(),
+        "FinishedTAs",
+    )
+    r_locked = cte(
+        Query.from_(history, alias="a")
+        .anti_join(
+            Query.from_(writes_same_obj, alias="wso"),
+            on=(col("a.ta") == col("wso.ta")) & (col("a.object") == col("wso.object")),
+        )
+        .anti_join(
+            Query.from_(finished, alias="fin"),
+            on=col("a.ta") == col("fin.ta"),
+        )
+        .select("a.object", "a.ta", "a.operation"),
+        "RLockedObjects",
+    )
+    # Write locks: DISTINCT writes of unfinished transactions (the
+    # paper's LEFT JOIN ... IS NULL shape).
+    w_locked = cte(
+        Query.from_(history, alias="a")
+        .left_join(
+            Query.from_(finished, alias="finishedTAs"),
+            on=col("a.ta") == col("finishedTAs.ta"),
+        )
+        .where((col("a.operation") == lit("w")) & is_null(col("finishedTAs.ta")))
+        .select("a.object", "a.ta", "a.operation")
+        .distinct(),
+        "WLockedObjects",
+    )
+
+    ops_on_w = (
+        Query.from_(requests, alias="r")
+        .join(
+            Query.from_(w_locked, alias="wlo"),
+            on=(col("r.object") == col("wlo.object")) & (col("r.ta") != col("wlo.ta")),
+        )
+        .select("r.ta", "r.intrata")
+    )
+    ops_on_r = (
+        Query.from_(requests, alias="r")
+        .where(col("r.operation") == lit("w"))
+        .join(
+            Query.from_(r_locked, alias="rl"),
+            on=(col("r.object") == col("rl.object")) & (col("r.ta") != col("rl.ta")),
+        )
+        .select("r.ta", "r.intrata")
+    )
+    intra_batch = (
+        Query.from_(requests, alias="r2")
+        .join(
+            Query.from_(requests, alias="r1"),
+            on=(col("r2.object") == col("r1.object")) & (col("r2.ta") > col("r1.ta")),
+        )
+        .where(
+            or_(
+                col("r1.operation") == lit("w"),
+                col("r2.operation") == lit("w"),
+            )
+        )
+        .select("r2.ta", "r2.intrata")
+    )
+
+    all_ops = Query.from_(requests, alias="r").select("r.ta", "r.intrata")
+    denials = ops_on_w.union_all(intra_batch).union_all(ops_on_r)
+    qualified_keys = cte(all_ops.except_(denials), "QualifiedSS2PLOps")
+    return (
+        Query.from_(requests, alias="r2")
+        .join(
+            Query.from_(qualified_keys, alias="q"),
+            on=(col("r2.ta") == col("q.ta")) & (col("r2.intrata") == col("q.intrata")),
+        )
+        .select("r2.id", "r2.ta", "r2.intrata", "r2.operation", "r2.object")
+        .order_by("id")
+    )
+
+
+class _Listing1Backed(Protocol):
+    """Shared machinery of the Listing 1 protocols: a per-table-pair
+    cache of compiled plans, with the interpreted pipeline kept as a
+    switchable reference path (benchmarks measure one against the
+    other; tests assert byte-identical batches)."""
+
+    def __init__(self, compiled: bool = True) -> None:
+        self.compiled = compiled
+        self._plans = PlanCache(listing1_query)
+
+    def _qualified_rows(self, requests: Table, history: Table) -> list[tuple]:
+        if self.compiled:
+            return self._plans.get(requests, history).execute().rows
+        return listing1_pipeline(requests, history)["qualified_requests"].rows
+
+    def reset(self) -> None:
+        self._plans.clear()
+
+    def explain(self, requests: Table, history: Table) -> str:
+        """Physical EXPLAIN of the cached plan for this table pair."""
+        return self._plans.get(requests, history).explain()
+
+
+class PaperListing1Protocol(_Listing1Backed):
     """Listing 1 exactly as published (see module docstring).
 
     Published semantics are kept untouched, including the naive aspects
@@ -218,6 +340,10 @@ class PaperListing1Protocol(Protocol):
     requests (object ``-1``, operation ``c``/``a``) always qualify: they
     collide with no data object and the intra-batch rule requires a
     write on at least one side.
+
+    By default the query is compiled once per (requests, history) table
+    pair and only executed per step; ``compiled=False`` evaluates the
+    eager interpreted pipeline instead (the paper's naive mode).
     """
 
     name = "ss2pl-listing1"
@@ -229,12 +355,11 @@ class PaperListing1Protocol(Protocol):
     declarative_source = LISTING1_SQL
 
     def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        pipeline = listing1_pipeline(requests, history)
-        rows = pipeline["qualified_requests"].rows
+        rows = self._qualified_rows(requests, history)
         return ProtocolDecision(qualified=requests_from_relation(rows))
 
 
-class SS2PLRelalgProtocol(Protocol):
+class SS2PLRelalgProtocol(_Listing1Backed):
     """Listing 1 plus program-order and termination gating (see module
     docstring) — the variant the live middleware runs."""
 
@@ -247,19 +372,27 @@ class SS2PLRelalgProtocol(Protocol):
     declarative_source = LISTING1_SQL
 
     def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        pipeline = listing1_pipeline(requests, history)
-        qualified = requests_from_relation(pipeline["qualified_requests"].rows)
+        qualified = requests_from_relation(
+            self._qualified_rows(requests, history)
+        )
         if not qualified:
             return ProtocolDecision()
 
         # Program order: request r may run only when all earlier intratas
         # of its transaction are already in history, or ahead of r within
-        # this batch.  Executed-count per transaction from history:
+        # this batch.  Executed-count per transaction from history (the
+        # stores maintain a hash index on ta; fall back to a scan for
+        # bare tables):
         executed: dict[int, int] = {}
-        history_ta_pos = history.schema.resolve("ta")
-        for row in history.rows:
-            ta = row[history_ta_pos]
-            executed[ta] = executed.get(ta, 0) + 1
+        ta_index = history.index_on("ta")
+        if ta_index is not None:
+            for key, bucket in ta_index.buckets.items():
+                executed[key[0]] = len(bucket)
+        else:
+            history_ta_pos = history.schema.resolve("ta")
+            for row in history.rows:
+                ta = row[history_ta_pos]
+                executed[ta] = executed.get(ta, 0) + 1
 
         decision = ProtocolDecision()
         progress = dict(executed)

@@ -13,8 +13,11 @@ engine with
   outer joins, semi/anti joins, set operations, aggregation, sorting
   (:mod:`repro.relalg.operators`),
 * a fluent :class:`~repro.relalg.query.Query` builder with named
-  subqueries mirroring SQL's ``WITH`` clause, and
-* a heuristic optimizer (:mod:`repro.relalg.optimizer`).
+  subqueries mirroring SQL's ``WITH`` clause,
+* a heuristic optimizer (:mod:`repro.relalg.optimizer`), and
+* a plan compiler (:mod:`repro.relalg.plan`): one-time lowering to
+  physical operators with compiled expressions, index-aware joins and
+  delta-maintained build tables — analyze once, execute per step.
 
 The scheduling protocols in :mod:`repro.protocols` are written against
 this API; :mod:`repro.sqlbridge` cross-checks results against sqlite3
@@ -31,8 +34,10 @@ from repro.relalg.expressions import (
     and_,
     or_,
     not_,
+    compile_expr,
 )
-from repro.relalg.query import Query, Pipeline
+from repro.relalg.query import Query, Pipeline, cte
+from repro.relalg.plan import CompiledPlan, PlanCache
 
 __all__ = [
     "Column",
@@ -45,6 +50,10 @@ __all__ = [
     "and_",
     "or_",
     "not_",
+    "compile_expr",
     "Query",
     "Pipeline",
+    "cte",
+    "CompiledPlan",
+    "PlanCache",
 ]

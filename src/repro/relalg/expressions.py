@@ -11,6 +11,16 @@ SQL's three-valued NULL logic is simplified to Python's two-valued logic
 with ``None`` propagation in comparisons: any comparison against ``None``
 is False (matching how the paper's Listing 1 uses ``IS NULL`` explicitly
 where NULL handling matters — we provide :func:`is_null` for that).
+
+Two evaluation strategies share one tree:
+
+* :meth:`Expr.bind` — the interpreted path: each node closes over its
+  children's bound functions, so evaluation walks a closure tree per row.
+* :func:`compile_expr` — the compiled path: the tree is rendered once to
+  Python source (a single function body with no per-node calls) and
+  ``compile()``d, so the per-row cost is one function call.  Plan
+  compilation (:mod:`repro.relalg.plan`) uses this for every hot
+  predicate.
 """
 
 from __future__ import annotations
@@ -24,6 +34,37 @@ from repro.relalg.schema import Schema
 Bound = Callable[[tuple], Any]
 
 
+class _CannotCompile(Exception):
+    """Internal: node has no source form; fall back to bind()."""
+
+
+class _Emitter:
+    """Codegen context: schema for column resolution, an environment of
+    hoisted constants/functions, and a counter for fresh names."""
+
+    __slots__ = ("schema", "env", "_counter")
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.env: dict[str, Any] = {}
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def const(self, value: Any) -> str:
+        """Hoist a value into the compiled function's globals; inline
+        literals with a safe, round-trippable repr."""
+        if value is None or value is True or value is False:
+            return repr(value)
+        if isinstance(value, (int, str)) and not isinstance(value, bool):
+            return repr(value)
+        name = self.fresh("c")
+        self.env[name] = value
+        return name
+
+
 class Expr:
     """Base class of expression nodes.
 
@@ -34,6 +75,18 @@ class Expr:
 
     def bind(self, schema: Schema) -> Bound:
         raise NotImplementedError
+
+    def emit(self, ctx: _Emitter) -> str:
+        """Python source fragment computing this node's *value* over a
+        row named ``_row`` — see :func:`compile_expr`.  Nodes without a
+        source form raise :class:`_CannotCompile` (the compiler then
+        falls back to :meth:`bind`)."""
+        raise _CannotCompile(type(self).__name__)
+
+    def emit_truth(self, ctx: _Emitter) -> str:
+        """Like :meth:`emit` but only the fragment's *truthiness* is
+        observed (filter position) — lets AND/OR skip bool() wrapping."""
+        return self.emit(ctx)
 
     def referenced_columns(self) -> set[tuple[Optional[str], str]]:
         """Set of (qualifier, name) pairs referenced by the expression —
@@ -93,6 +146,39 @@ def _wrap(value: Any) -> Expr:
     return value if isinstance(value, Expr) else Literal(value)
 
 
+#: operator-module callables with a Python infix spelling (codegen).
+_PY_INFIX: dict[Callable, str] = {
+    operator.eq: "==",
+    operator.ne: "!=",
+    operator.lt: "<",
+    operator.le: "<=",
+    operator.gt: ">",
+    operator.ge: ">=",
+    operator.add: "+",
+    operator.sub: "-",
+    operator.mul: "*",
+}
+
+
+def _null_guarded(expr: Expr, ctx: _Emitter) -> tuple[str, Optional[str]]:
+    """Emit *expr* as ``(value_src, guard_src)``.
+
+    ``guard_src`` is a fragment that is truthy iff the operand is
+    non-None; it must be evaluated before ``value_src`` is referenced
+    (walrus temporaries make complex operands single-evaluation).  A
+    guard of ``None`` means the operand is statically non-None.
+    """
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "None", "False"
+        return ctx.const(expr.value), None
+    src = expr.emit(ctx)
+    if isinstance(expr, ColumnRef):
+        return src, f"{src} is not None"
+    temp = ctx.fresh("t")
+    return temp, f"({temp} := {src}) is not None"
+
+
 class ColumnRef(Expr):
     """Reference to a column, optionally qualified: ``col("r.ta")``."""
 
@@ -107,6 +193,10 @@ class ColumnRef(Expr):
     def bind(self, schema: Schema) -> Bound:
         pos = schema.resolve(self.name, self.qualifier)
         return operator.itemgetter(pos)
+
+    def emit(self, ctx: _Emitter) -> str:
+        pos = ctx.schema.resolve(self.name, self.qualifier)
+        return f"_row[{pos}]"
 
     def referenced_columns(self) -> set[tuple[Optional[str], str]]:
         return {(self.qualifier, self.name)}
@@ -126,6 +216,9 @@ class Literal(Expr):
     def bind(self, schema: Schema) -> Bound:
         value = self.value
         return lambda row: value
+
+    def emit(self, ctx: _Emitter) -> str:
+        return ctx.const(self.value)
 
     def __repr__(self) -> str:
         return f"lit({self.value!r})"
@@ -154,6 +247,16 @@ class Compare(Expr):
 
         return run
 
+    def emit(self, ctx: _Emitter) -> str:
+        infix = _PY_INFIX.get(self.op)
+        if infix is None:
+            raise _CannotCompile(f"comparison op {self.op!r}")
+        lval, lguard = _null_guarded(self.left, ctx)
+        rval, rguard = _null_guarded(self.right, ctx)
+        parts = [g for g in (lguard, rguard) if g is not None]
+        parts.append(f"{lval} {infix} {rval}")
+        return "(" + " and ".join(parts) + ")"
+
     def referenced_columns(self):
         return self.left.referenced_columns() | self.right.referenced_columns()
 
@@ -180,6 +283,18 @@ class Arith(Expr):
             return op(lv, rv)
 
         return run
+
+    def emit(self, ctx: _Emitter) -> str:
+        infix = _PY_INFIX.get(self.op)
+        if infix is None:
+            raise _CannotCompile(f"arithmetic op {self.op!r}")
+        lval, lguard = _null_guarded(self.left, ctx)
+        rval, rguard = _null_guarded(self.right, ctx)
+        guards = [g for g in (lguard, rguard) if g is not None]
+        value = f"{lval} {infix} {rval}"
+        if not guards:
+            return f"({value})"
+        return f"({value} if {' and '.join(guards)} else None)"
 
     def referenced_columns(self):
         return self.left.referenced_columns() | self.right.referenced_columns()
@@ -208,6 +323,15 @@ class And(Expr):
             return all(f(row) for f in bound)
 
         return run
+
+    def emit(self, ctx: _Emitter) -> str:
+        # bind() evaluates via all() and returns a bool; keep that.
+        return f"bool{self.emit_truth(ctx)}"
+
+    def emit_truth(self, ctx: _Emitter) -> str:
+        if not self.parts:
+            return "(True)"
+        return "(" + " and ".join(p.emit_truth(ctx) for p in self.parts) + ")"
 
     def referenced_columns(self):
         out: set = set()
@@ -239,6 +363,14 @@ class Or(Expr):
 
         return run
 
+    def emit(self, ctx: _Emitter) -> str:
+        return f"bool{self.emit_truth(ctx)}"
+
+    def emit_truth(self, ctx: _Emitter) -> str:
+        if not self.parts:
+            return "(False)"
+        return "(" + " or ".join(p.emit_truth(ctx) for p in self.parts) + ")"
+
     def referenced_columns(self):
         out: set = set()
         for part in self.parts:
@@ -259,6 +391,9 @@ class Not(Expr):
         f = self.inner.bind(schema)
         return lambda row: not f(row)
 
+    def emit(self, ctx: _Emitter) -> str:
+        return f"(not {self.inner.emit_truth(ctx)})"
+
     def referenced_columns(self):
         return self.inner.referenced_columns()
 
@@ -277,6 +412,9 @@ class IsNull(Expr):
     def bind(self, schema: Schema) -> Bound:
         f = self.inner.bind(schema)
         return lambda row: f(row) is None
+
+    def emit(self, ctx: _Emitter) -> str:
+        return f"({self.inner.emit(ctx)} is None)"
 
     def referenced_columns(self):
         return self.inner.referenced_columns()
@@ -297,6 +435,9 @@ class InSet(Expr):
     def bind(self, schema: Schema) -> Bound:
         f, values = self.inner.bind(schema), self.values
         return lambda row: f(row) in values
+
+    def emit(self, ctx: _Emitter) -> str:
+        return f"({self.inner.emit(ctx)} in {ctx.const(self.values)})"
 
     def referenced_columns(self):
         return self.inner.referenced_columns()
@@ -324,6 +465,12 @@ class Func(Expr):
         getters = [c.bind(schema) for c in self.columns]
         fn = self.fn
         return lambda row: fn(*[g(row) for g in getters])
+
+    def emit(self, ctx: _Emitter) -> str:
+        name = ctx.fresh("f")
+        ctx.env[name] = self.fn
+        args = ", ".join(c.emit(ctx) for c in self.columns)
+        return f"{name}({args})"
 
     def referenced_columns(self):
         out: set = set()
@@ -383,3 +530,33 @@ def split_conjuncts(expr: Expr) -> list[Expr]:
     if isinstance(expr, And):
         return list(expr.parts)
     return [expr]
+
+
+# -- compilation ---------------------------------------------------------
+
+
+def compile_expr(expr: Expr, schema: Schema, predicate: bool = False) -> Bound:
+    """Compile *expr* against *schema* into a single Python function.
+
+    The expression tree is rendered once to source (column references
+    become tuple indexing, constants are inlined or hoisted) and then
+    ``compile()``d — per-row evaluation is one call with no tree walk,
+    which is what the plan compiler uses in `select`/join inner loops.
+
+    With ``predicate=True`` only the result's truthiness is promised
+    (AND/OR skip their bool() normalization).  Nodes with no source form
+    (exotic subclasses) fall back to the interpreted :meth:`Expr.bind`,
+    so compilation never changes semantics, only speed.  The generated
+    source is attached as ``fn.__relalg_source__`` for EXPLAIN output.
+    """
+    ctx = _Emitter(schema)
+    try:
+        fragment = expr.emit_truth(ctx) if predicate else expr.emit(ctx)
+    except _CannotCompile:
+        return expr.bind(schema)
+    source = f"def _compiled(_row):\n    return {fragment}\n"
+    namespace = dict(ctx.env)
+    exec(compile(source, "<relalg:compiled-expr>", "exec"), namespace)
+    fn = namespace["_compiled"]
+    fn.__relalg_source__ = source
+    return fn

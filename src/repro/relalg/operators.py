@@ -72,16 +72,29 @@ def order_by(
     Sorting is stable, so multi-key ordering can also be achieved by
     chaining calls from least- to most-significant key.
     """
+    # Resolve every sort key up front (one schema lookup per key, not
+    # one per pass), then apply them right-to-left relying on stability.
+    resolved = resolve_sort_keys(relation.schema, keys)
     rows = list(relation.rows)
-    # Apply keys right-to-left relying on sort stability.
-    for key in reversed(list(keys)):
+    for pos, descending in reversed(resolved):
+        rows.sort(key=lambda row: row[pos], reverse=descending)
+    return Relation(relation.schema, rows)
+
+
+def resolve_sort_keys(
+    schema: Schema, keys: Sequence[str | tuple[str, bool]]
+) -> list[tuple[int, bool]]:
+    """Resolve ``name | (name, descending)`` sort keys to
+    ``(position, descending)`` pairs — shared by the interpreted
+    :func:`order_by` and the compiled plan's OrderBy operator."""
+    resolved: list[tuple[int, bool]] = []
+    for key in keys:
         if isinstance(key, tuple):
             name, descending = key
         else:
             name, descending = key, False
-        pos = relation.schema.resolve(*_split(name))
-        rows.sort(key=lambda row: row[pos], reverse=descending)
-    return Relation(relation.schema, rows)
+        resolved.append((schema.resolve(*_split(name)), descending))
+    return resolved
 
 
 def limit(relation: Relation, n: int) -> Relation:

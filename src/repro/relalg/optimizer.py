@@ -122,13 +122,25 @@ def _resolvable(schema: Schema, ref: ColumnRef) -> bool:
 
 def optimize_plan(plan: PlanNode) -> PlanNode:
     """Apply pushdown rewrites bottom-up.  The plan is treated as
-    immutable; rewritten nodes are fresh objects."""
-    return _push_filters(plan)
+    immutable; rewritten nodes are fresh objects.
+
+    The traversal memoizes by node identity, so plans that are DAGs —
+    a :class:`~repro.relalg.query.CTENode` referenced from several
+    parents — keep the shared node shared in the rewritten plan (the
+    compiled execution path relies on that identity to compute each CTE
+    once per step)."""
+    return _push_filters(plan, {})
 
 
-def _push_filters(node: PlanNode) -> PlanNode:
+def _push_filters(node: PlanNode, memo: dict[int, PlanNode]) -> PlanNode:
+    done = memo.get(id(node))
+    if done is not None:
+        return done
+    original = node
     # Recurse first so child subtrees are already optimized.
-    node = _rebuild_with_children(node, [_push_filters(c) for c in node.children()])
+    node = _rebuild_with_children(
+        node, [_push_filters(c, memo) for c in node.children()]
+    )
 
     if isinstance(node, FilterNode) and isinstance(node.child, JoinNode):
         join = node.child
@@ -163,11 +175,14 @@ def _push_filters(node: PlanNode) -> PlanNode:
                     if spanning
                     else None
                 )
-                return JoinNode(new_left, new_right, merged, join.how)
+                node = JoinNode(new_left, new_right, merged, join.how)
+                memo[id(original)] = node
+                return node
     if isinstance(node, FilterNode) and isinstance(node.child, FilterNode):
         # Merge stacked filters into one conjunction.
         inner = node.child
-        return FilterNode(inner.child, and_(node.predicate, inner.predicate))
+        node = FilterNode(inner.child, and_(node.predicate, inner.predicate))
+    memo[id(original)] = node
     return node
 
 

@@ -414,6 +414,48 @@ class Query:
         plan = optimize_plan(self.plan) if optimize else self.plan
         return plan.explain()
 
+    def compile(self, optimize: bool = True):
+        """One-time analysis into a reusable :class:`~repro.relalg.plan.
+        CompiledPlan`: optimization, schema resolution, equi-key
+        extraction and expression codegen all happen here, so each
+        subsequent ``execute()`` only runs the physical operators
+        against current table contents."""
+        from repro.relalg.plan import CompiledPlan
+
+        return CompiledPlan(self.plan, optimize=optimize)
+
+
+class CTENode(PlanNode):
+    """A named, shared subplan (SQL ``WITH``), preserved as one node.
+
+    Several parents may reference the *same* CTENode object; the plan
+    compiler (:mod:`repro.relalg.plan`) computes it at most once per
+    execution and the optimizer keeps the shared identity intact.  The
+    interpreted :meth:`execute` simply recomputes — sharing pays off on
+    the compiled path, which is where it matters.
+    """
+
+    def __init__(self, child: PlanNode, name: str) -> None:
+        self.child = child
+        self.name = name
+
+    def output_schema(self) -> Schema:
+        return self.child.output_schema()
+
+    def execute(self) -> Relation:
+        return self.child.execute()
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def _describe(self) -> str:
+        return f"CTE({self.name})"
+
+
+def cte(query: "Query", name: str) -> "Query":
+    """Mark a query as a shared common-table-expression (see CTENode)."""
+    return Query(CTENode(query.plan, name))
+
 
 class _AliasNode(PlanNode):
     """Re-qualifies a subquery's output columns with an alias."""

@@ -57,6 +57,7 @@ from repro.relalg.expressions import (
     split_conjuncts,
 )
 from repro.relalg.query import (
+    CTENode,
     DistinctNode,
     FilterNode,
     JoinNode,
@@ -448,15 +449,29 @@ class SqlPlanner:
     def __init__(self, catalog: dict[str, Union[Table, Relation]]) -> None:
         self._catalog = dict(catalog)
 
-    def plan(self, source: str) -> PlanNode:
+    def plan(self, source: str, defer_ctes: bool = False) -> PlanNode:
+        """Parse and plan *source*.
+
+        With ``defer_ctes=False`` (default) CTEs are materialized
+        eagerly — they are referenced several times in Listing 1, and
+        for one-shot interpreted execution sharing beats re-planning.
+        With ``defer_ctes=True`` each CTE becomes a shared
+        :class:`CTENode` instead, yielding a fully deferred plan that
+        reads the catalog's *live* tables — the form
+        :class:`~repro.relalg.plan.CompiledPlan` caches across
+        scheduler steps (the compiled path computes each shared CTE
+        once per execution).
+        """
         from repro.relalg.optimizer import optimize_plan
 
         statement = _Parser(source).statement()
         scope = dict(self._catalog)
         for name, body in statement.ctes:
-            # CTEs are materialized eagerly (they are referenced several
-            # times in Listing 1; sharing beats re-planning), through the
-            # optimizer so comma-joins become hash joins.
+            if defer_ctes:
+                scope[name] = CTENode(
+                    _UnqualifyNode(self._plan_set_expr(body, scope)), name
+                )
+                continue
             cte_plan = optimize_plan(self._plan_set_expr(body, scope))
             relation = cte_plan.execute()
             scope[name] = Relation(relation.schema.unqualified(), relation.rows)
@@ -502,6 +517,8 @@ class SqlPlanner:
             source = scope[item.table]
         except KeyError:
             raise SqlError(f"unknown table {item.table!r}") from None
+        if isinstance(source, PlanNode):  # deferred CTE reference
+            return _AliasNode(source, item.alias) if item.alias else source
         return SourceNode(source, item.alias)
 
     def _plan_select(

@@ -74,6 +74,16 @@ class Table:
         )
         self._rows: list[tuple] = []
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        # Delta journal: (added, row) entries since the last compaction.
+        # Cached physical-plan state (repro.relalg.plan) replays it to
+        # stay in sync with the table instead of rebuilding per step;
+        # the epoch bumps whenever the journal is no longer a complete
+        # record (compaction, clear), forcing consumers to rebuild.
+        # Recording starts lazily on the first delta_state() call, so
+        # tables with no journal consumer pay nothing per mutation.
+        self._log: list[tuple[bool, tuple]] = []
+        self._log_epoch = 0
+        self._log_enabled = False
         self.insert_many(rows)
 
     # -- mutation ---------------------------------------------------------
@@ -86,6 +96,9 @@ class Table:
             )
         tup = tuple(row)
         self._rows.append(tup)
+        if self._log_enabled:
+            self._log.append((True, tup))
+            self._maybe_compact_log()
         for index in self._indexes.values():
             index.add(tup)
 
@@ -104,6 +117,9 @@ class Table:
             (removed if predicate(row) else kept).append(row)
         if removed:
             self._rows = kept
+            if self._log_enabled:
+                self._log.extend((False, row) for row in removed)
+                self._maybe_compact_log()
             self._reindex()
         return len(removed)
 
@@ -121,17 +137,51 @@ class Table:
             if pending > 0:
                 to_remove[row] = pending - 1
                 removed += 1
+                if self._log_enabled:
+                    self._log.append((False, row))
             else:
                 kept.append(row)
         if removed:
             self._rows = kept
             self._reindex()
+            if self._log_enabled:
+                self._maybe_compact_log()
         return removed
 
     def clear(self) -> None:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        self._log.clear()
+        self._log_epoch += 1
+
+    # -- delta journal ----------------------------------------------------
+
+    def delta_state(self) -> tuple[int, int]:
+        """Opaque (epoch, position) marker of the journal's current end.
+
+        The first call turns journaling on; mutations before that are
+        never needed (a consumer always full-builds from :attr:`rows`
+        before taking its first marker)."""
+        self._log_enabled = True
+        return self._log_epoch, len(self._log)
+
+    def delta_since(
+        self, epoch: int, position: int
+    ) -> Optional[list[tuple[bool, tuple]]]:
+        """Journal entries appended since ``(epoch, position)``, or
+        ``None`` when that span is gone (compaction) and the consumer
+        must rebuild from :attr:`rows`."""
+        if epoch != self._log_epoch or position > len(self._log):
+            return None
+        return self._log[position:]
+
+    def _maybe_compact_log(self) -> None:
+        # Keep the journal bounded: once it dwarfs the live row count it
+        # is cheaper for any laggard consumer to rebuild than to replay.
+        if len(self._log) > max(256, 4 * len(self._rows)):
+            self._log.clear()
+            self._log_epoch += 1
 
     # -- indexing ---------------------------------------------------------
 

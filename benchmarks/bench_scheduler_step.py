@@ -1,11 +1,17 @@
 #!/usr/bin/env python
 """Perf smoke: per-step scheduler query cost, interpreted vs compiled.
 
-Writes ``BENCH_scheduler_step.json`` at the repository root (or to the
-path given as the first argument) so successive changes to the relalg
-engine leave a comparable perf trajectory.  Run from the repo root::
+Writes ``BENCH_scheduler_step.json`` at the repository root (or to
+``--output``) so successive changes to the relalg engine leave a
+comparable perf trajectory.  Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_scheduler_step.py
+    PYTHONPATH=src python benchmarks/bench_scheduler_step.py --check
+
+``--check`` is the perf regression guard: instead of overwriting the
+committed artefact it re-runs the measurement and fails (exit 1) when
+any operating point's compiled per-step median regressed by more than
+``--threshold`` percent (default 25) against the committed numbers.
 
 The workload is the E5 declarative-overhead operating point driven for
 ten steps at three history sizes; batches are verified identical
@@ -14,6 +20,8 @@ between the two evaluation strategies before any number is reported.
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 import sys
 
@@ -23,6 +31,7 @@ sys.path.insert(
 
 from repro.bench.scheduler_step import (  # noqa: E402
     render_scheduler_step_report,
+    run_scheduler_step_bench,
     write_scheduler_step_bench,
 )
 
@@ -31,9 +40,96 @@ DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / (
 )
 
 
-def main(argv: list[str]) -> int:
-    output = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
-    report = write_scheduler_step_bench(str(output))
+def artefact_mismatch(committed: dict, fresh: dict) -> str | None:
+    """Refuse apples-to-oranges checks: the committed artefact must have
+    been produced by the same protocol × backend pairing."""
+    for key in ("protocol", "backend"):
+        old = committed.get(key)
+        new = fresh.get(key)
+        if old is not None and old != new:
+            return (
+                f"committed artefact measures {key} {old!r} but this run "
+                f"measures {new!r}; refusing to compare"
+            )
+    return None
+
+
+def check_regression(
+    committed: dict, fresh: dict, threshold_pct: float
+) -> list[str]:
+    """Per-point comparison; returns human-readable failures."""
+    failures: list[str] = []
+    committed_points = {p["clients"]: p for p in committed["points"]}
+    for point in fresh["points"]:
+        baseline = committed_points.get(point["clients"])
+        if baseline is None:
+            continue
+        old = baseline["compiled_median_step_s"]
+        new = point["compiled_median_step_s"]
+        if old > 0 and new > old * (1 + threshold_pct / 100.0):
+            failures.append(
+                f"{point['clients']} clients: compiled per-step median "
+                f"{new * 1000:.2f} ms vs committed {old * 1000:.2f} ms "
+                f"(+{(new / old - 1) * 100:.0f}% > {threshold_pct:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "output", nargs="?", default=str(DEFAULT_OUTPUT),
+        help="artefact path (default: repo-root BENCH_scheduler_step.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed artefact instead of writing it",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=25.0,
+        help="--check: max tolerated per-step regression in percent",
+    )
+    parser.add_argument(
+        "--backend", default="compiled",
+        help="execution backend measured against the interpreted baseline",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=10, help="scheduler steps per point"
+    )
+    args = parser.parse_args(argv)
+    output = pathlib.Path(args.output)
+
+    if args.check:
+        if not output.exists():
+            print(f"--check: no committed artefact at {output}", file=sys.stderr)
+            return 2
+        committed = json.loads(output.read_text(encoding="utf-8"))
+        fresh = run_scheduler_step_bench(
+            steps=args.steps, backend=args.backend
+        )
+        mismatch = artefact_mismatch(committed, fresh)
+        if mismatch:
+            print(f"--check: {mismatch}", file=sys.stderr)
+            return 2
+        print(render_scheduler_step_report(fresh))
+        failures = check_regression(committed, fresh, args.threshold)
+        if failures:
+            print(
+                "\nPERF REGRESSION against committed "
+                f"{output.name}:", file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"\nno per-step regression beyond {args.threshold:.0f}% "
+            f"against {output.name}"
+        )
+        return 0
+
+    report = write_scheduler_step_bench(
+        str(output), steps=args.steps, backend=args.backend
+    )
     print(render_scheduler_step_report(report))
     print(f"\nwrote {output}")
     slowest = min(p["speedup"] for p in report["points"])
@@ -42,4 +138,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main(sys.argv[1:]))

@@ -28,3 +28,62 @@ def test_scheduler_step_bench_report(benchmark, tmp_path):
     # 7x is typical; >1 guards against regression without host noise
     # flakiness.
     assert min(p["speedup"] for p in report["points"]) > 1.0
+
+
+def test_check_mode_flags_only_real_regressions():
+    from benchmarks.bench_scheduler_step import check_regression
+
+    committed = {
+        "points": [
+            {"clients": 100, "compiled_median_step_s": 0.002},
+            {"clients": 300, "compiled_median_step_s": 0.005},
+        ]
+    }
+    same = {
+        "points": [
+            {"clients": 100, "compiled_median_step_s": 0.0024},
+            {"clients": 300, "compiled_median_step_s": 0.005},
+        ]
+    }
+    assert check_regression(committed, same, threshold_pct=25.0) == []
+    slower = {
+        "points": [
+            {"clients": 100, "compiled_median_step_s": 0.0026},
+            {"clients": 300, "compiled_median_step_s": 0.005},
+        ]
+    }
+    failures = check_regression(committed, slower, threshold_pct=25.0)
+    assert len(failures) == 1 and "100 clients" in failures[0]
+    # Unknown operating points in the fresh run are ignored.
+    extra = {"points": [{"clients": 999, "compiled_median_step_s": 9.0}]}
+    assert check_regression(committed, extra, threshold_pct=25.0) == []
+
+
+def test_stateful_backend_observes_preloaded_history():
+    # Regression: the bench seeds history out-of-band; stateful
+    # backends (incremental lock views) must still match the reference.
+    from repro.bench.scheduler_step import run_scheduler_step_bench
+
+    report = run_scheduler_step_bench(
+        client_counts=(20,), steps=3, backend="incremental"
+    )
+    assert all(p["batches_identical"] for p in report["points"])
+
+
+def test_check_refuses_mismatched_artefact():
+    from benchmarks.bench_scheduler_step import artefact_mismatch
+
+    committed = {"protocol": "ss2pl", "backend": "compiled", "points": []}
+    assert artefact_mismatch(
+        committed, {"protocol": "ss2pl", "backend": "compiled"}
+    ) is None
+    assert "backend" in artefact_mismatch(
+        committed, {"protocol": "ss2pl", "backend": "datalog"}
+    )
+    assert "protocol" in artefact_mismatch(
+        committed, {"protocol": "fcfs", "backend": "compiled"}
+    )
+    # Legacy artefacts without the keys are accepted.
+    assert artefact_mismatch(
+        {"points": []}, {"protocol": "ss2pl", "backend": "compiled"}
+    ) is None

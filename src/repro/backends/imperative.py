@@ -1,0 +1,156 @@
+"""Imperative-reference backend: classical lock-table evaluation.
+
+The execution technique the paper argues hand-written schedulers end up
+re-implementing: rebuild a lock table from the history relation each
+step, then walk the pending requests in (ta, intrata) order applying
+grant rules.  Here that technique is written **once**, parameterized by
+the spec's declarative :class:`~repro.protocols.spec.LockModel`; specs
+whose rule needs more than a lock matrix (admission, counting) supply
+an ``imperative`` set-at-a-time callable instead.
+
+(:class:`repro.baselines.imperative.ImperativeSS2PLScheduler` remains
+the deliberately hand-coded, single-protocol baseline whose line count
+the E9 productivity study measures; this module is the generic engine.)
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    ExecutionBackend,
+    SpecEvaluator,
+    register_backend,
+)
+from repro.model.request import Operation, Request
+from repro.protocols.base import ProtocolDecision
+from repro.protocols.spec import LockModel, ProtocolSpec
+from repro.relalg.table import Table
+
+
+def walk_pending(
+    model: LockModel,
+    requests: Table,
+    read_locks: dict[int, set[int]],
+    write_locks: dict[int, set[int]],
+) -> ProtocolDecision:
+    """Grant pending requests against held locks under *model*.
+
+    Walks in (ta, intrata) order — the tie-breaking Listing 1's
+    ``r2.ta > r1.ta`` intra-batch rule implies — registering claims
+    whether or not a request is granted (the declarative formulations
+    join the raw requests table, not the qualified set).  Shared by the
+    imperative and incremental backends, which differ only in where
+    ``read_locks``/``write_locks`` come from.
+    """
+    decision = ProtocolDecision()
+    ta_pos = requests.schema.resolve("ta")
+    intrata_pos = requests.schema.resolve("intrata")
+    rows = sorted(requests.rows, key=lambda r: (r[ta_pos], r[intrata_pos]))
+
+    batch_read: dict[int, set[int]] = {}
+    batch_write: dict[int, set[int]] = {}
+    for row in rows:
+        request = Request.from_row(row)
+        if not request.operation.is_data_access:
+            decision.qualified.append(request)
+            continue
+        obj, ta = request.obj, request.ta
+        is_write = (
+            request.operation is Operation.WRITE or model.reads_are_writes
+        )
+        holders_w = write_locks.get(obj, set()) | batch_write.get(obj, set())
+        if not is_write:
+            granted = (
+                not model.reads_check_writers or not (holders_w - {ta})
+            )
+            reason = "write lock held"
+            if model.reads_take_locks:
+                batch_read.setdefault(obj, set()).add(ta)
+        else:
+            blockers: set[int] = set()
+            if model.writes_check_writers:
+                blockers |= holders_w
+            if model.writes_check_readers:
+                blockers |= read_locks.get(obj, set())
+                blockers |= batch_read.get(obj, set())
+            granted = not (blockers - {ta})
+            reason = "conflicting lock held"
+            batch_write.setdefault(obj, set()).add(ta)
+        if granted:
+            decision.qualified.append(request)
+        else:
+            decision.denials[request.id] = reason
+    decision.qualified.sort(key=lambda r: r.id)
+    return decision
+
+
+def locks_from_history(
+    model: LockModel, history: Table
+) -> tuple[dict[int, set[int]], dict[int, set[int]]]:
+    """(read_locks, write_locks) held by unfinished transactions."""
+    ta_pos = history.schema.resolve("ta")
+    op_pos = history.schema.resolve("operation")
+    obj_pos = history.schema.resolve("object")
+
+    finished: set[int] = set()
+    for row in history.rows:
+        if row[op_pos] in ("c", "a"):
+            finished.add(row[ta_pos])
+
+    read_locks: dict[int, set[int]] = {}
+    write_locks: dict[int, set[int]] = {}
+    for row in history.rows:
+        ta = row[ta_pos]
+        if ta in finished:
+            continue
+        op = row[op_pos]
+        if op == "w" or (op == "r" and model.reads_are_writes):
+            write_locks.setdefault(row[obj_pos], set()).add(ta)
+    if model.reads_take_locks and not model.reads_are_writes:
+        for row in history.rows:
+            ta = row[ta_pos]
+            if ta in finished or row[op_pos] != "r":
+                continue
+            obj = row[obj_pos]
+            if ta in write_locks.get(obj, set()):
+                continue  # upgraded: the write lock subsumes the read
+            read_locks.setdefault(obj, set()).add(ta)
+    return read_locks, write_locks
+
+
+class LockTableEvaluator(SpecEvaluator):
+    """Stateless reference evaluation: locks rebuilt per step."""
+
+    def __init__(self, model: LockModel) -> None:
+        self._model = model
+
+    def evaluate(self, requests: Table, history: Table) -> ProtocolDecision:
+        read_locks, write_locks = locks_from_history(self._model, history)
+        return walk_pending(self._model, requests, read_locks, write_locks)
+
+
+class CallableEvaluator(SpecEvaluator):
+    """Adapter for a spec's hand-written set-at-a-time callable."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def evaluate(self, requests: Table, history: Table) -> ProtocolDecision:
+        return self._fn(requests, history)
+
+
+class ImperativeBackend(ExecutionBackend):
+    name = "imperative"
+    description = "reference lock-table walk (or the spec's own callable)"
+    consumes = ("imperative", "lock-model")
+
+    def evaluator(self, spec: ProtocolSpec, **options) -> SpecEvaluator:
+        if spec.imperative is not None:
+            return CallableEvaluator(spec.imperative)
+        if spec.lock_model is not None:
+            return LockTableEvaluator(spec.lock_model)
+        raise self._reject(spec)
+
+
+@register_backend
+def _make_imperative() -> ImperativeBackend:
+    return ImperativeBackend()

@@ -1,0 +1,54 @@
+"""sqlite3 backend: the spec's SQL on a real SQL engine.
+
+Each evaluation loads the pending/history snapshots into fresh
+in-memory tables — deliberately so: this backend exists to
+cross-validate the in-process engines against an independent SQL
+implementation and to serve as the SQL data point in the language
+ablation, not to win benchmarks.  (A production deployment would keep
+the tables resident; see :class:`repro.sqlbridge.bridge.SqliteScheduler`
+for that mode.)
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    ExecutionBackend,
+    SpecEvaluator,
+    register_backend,
+)
+from repro.model.request import Request
+from repro.protocols.base import ProtocolDecision
+from repro.protocols.spec import ProtocolSpec
+from repro.relalg.table import Table
+from repro.sqlbridge.bridge import SqliteScheduler
+
+
+class SqliteEvaluator(SpecEvaluator):
+    def __init__(self, spec: ProtocolSpec) -> None:
+        self._sql = spec.sqlite_text()
+        self.source = spec.sql if spec.sql is not None else self._sql
+
+    def evaluate(self, requests: Table, history: Table) -> ProtocolDecision:
+        with SqliteScheduler() as backend:
+            backend.load_rows("requests", requests.rows)
+            backend.load_rows("history", history.rows)
+            rows = backend.execute(self._sql)
+        return ProtocolDecision(
+            qualified=[Request.from_row(row) for row in rows]
+        )
+
+
+class SqliteBackend(ExecutionBackend):
+    name = "sqlite"
+    description = "the spec's SQL executed by in-memory sqlite3"
+    consumes = ("sqlite-sql",)
+
+    def evaluator(self, spec: ProtocolSpec, **options) -> SpecEvaluator:
+        if not self.supports(spec):
+            raise self._reject(spec)
+        return SqliteEvaluator(spec)
+
+
+@register_backend
+def _make_sqlite() -> SqliteBackend:
+    return SqliteBackend()

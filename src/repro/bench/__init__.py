@@ -41,6 +41,7 @@ from repro.bench.scheduler_step import (
     render_scheduler_step_report,
     write_scheduler_step_bench,
 )
+from repro.bench.matrix import run_backend_matrix
 
 __all__ = [
     "run_table1",
@@ -62,4 +63,5 @@ __all__ = [
     "run_scheduler_step_bench",
     "render_scheduler_step_report",
     "write_scheduler_step_bench",
+    "run_backend_matrix",
 ]

@@ -30,9 +30,9 @@ from repro.bench.declarative_overhead import paper_snapshot
 from repro.core.scheduler import DeclarativeScheduler, SchedulerConfig
 from repro.core.triggers import FillLevelTrigger
 from repro.metrics.reporting import render_table
+from repro.backends import build_protocol
 from repro.model.request import Operation, Request
 from repro.protocols.base import Protocol
-from repro.protocols.ss2pl import SS2PLRelalgProtocol
 
 
 @dataclass
@@ -79,6 +79,9 @@ def measure_step_costs(
         config=SchedulerConfig(prune_history=False),
     )
     scheduler.history.record_batch(history)
+    # Stateful protocols (e.g. the incremental backend) must observe the
+    # preloaded snapshot exactly as if the scheduler had executed it.
+    protocol.observe_executed(history)
     rng = random.Random(seed + 1)
     next_id = max(r.id for r in incoming) + 1
     next_intrata = {r.ta: r.intrata for r in incoming}
@@ -115,6 +118,8 @@ def run_scheduler_step_bench(
     client_counts: Sequence[int] = (100, 300, 500),
     steps: int = 10,
     seed: int = 7,
+    protocol: str = "ss2pl",
+    backend: str = "compiled",
 ) -> dict:
     """Interpreted-vs-compiled per-step cost at several history sizes.
 
@@ -124,15 +129,16 @@ def run_scheduler_step_bench(
     points = []
     for clients in client_counts:
         interpreted = measure_step_costs(
-            SS2PLRelalgProtocol(compiled=False), clients, steps=steps, seed=seed
+            build_protocol(protocol, "interpreted"),
+            clients, steps=steps, seed=seed,
         )
         compiled = measure_step_costs(
-            SS2PLRelalgProtocol(compiled=True), clients, steps=steps, seed=seed
+            build_protocol(protocol, backend), clients, steps=steps, seed=seed
         )
         if interpreted.batches != compiled.batches:
             raise AssertionError(
-                f"compiled plan diverged from interpreted pipeline at "
-                f"{clients} clients"
+                f"backend {backend!r} diverged from the interpreted "
+                f"reference at {clients} clients"
             )
         speedup = (
             interpreted.median_seconds / compiled.median_seconds
@@ -158,7 +164,8 @@ def run_scheduler_step_bench(
         )
     return {
         "benchmark": "scheduler_step",
-        "protocol": SS2PLRelalgProtocol.name,
+        "protocol": protocol,
+        "backend": backend,
         "workload": "E5 declarative-overhead snapshot, steady stream",
         "metric": "median per-step query_seconds (first step excluded)",
         "points": points,
@@ -176,13 +183,14 @@ def render_scheduler_step_report(report: dict) -> str:
         )
         for p in report["points"]
     ]
+    backend = report.get("backend", "compiled")
     return render_table(
-        ["clients", "history rows", "interpreted (ms)", "compiled (ms)",
+        ["clients", "history rows", "interpreted (ms)", f"{backend} (ms)",
          "speedup"],
         rows,
         title=(
-            "Per-step protocol query cost: interpreted Listing 1 pipeline "
-            "vs cached compiled plan (identical batches verified)"
+            f"Per-step protocol query cost: interpreted pipeline vs the "
+            f"{backend!r} backend (identical batches verified)"
         ),
     )
 
@@ -192,9 +200,14 @@ def write_scheduler_step_bench(
     client_counts: Sequence[int] = (100, 300, 500),
     steps: int = 10,
     seed: int = 7,
+    protocol: str = "ss2pl",
+    backend: str = "compiled",
 ) -> dict:
     """Run the bench and write *path* (``BENCH_scheduler_step.json``)."""
-    report = run_scheduler_step_bench(client_counts, steps=steps, seed=seed)
+    report = run_scheduler_step_bench(
+        client_counts, steps=steps, seed=seed,
+        protocol=protocol, backend=backend,
+    )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -3,14 +3,21 @@
 Usage::
 
     python -m repro list                 # experiments and protocols
+    python -m repro protocols            # registered protocol specs
+    python -m repro backends             # registered execution backends
     python -m repro run E1 [E2 ...]      # regenerate paper artefacts
     python -m repro run all --quick      # everything, scaled down
+    python -m repro run E13 --backend sqlfront
+    python -m repro bench --protocol ss2pl --backend datalog
     python -m repro demo                 # the quickstart scenario
     python -m repro sql "SELECT ..."     # ad-hoc SQL over demo tables
 
 Every experiment id maps to the corresponding ``repro.bench.run_*``
 function; ``--quick`` substitutes scaled-down parameters so the whole
-suite finishes in well under a minute.
+suite finishes in well under a minute.  ``--backend`` selects the
+execution backend for the backend-parameterizable experiments
+(E13/E14) and for ``bench``/``demo``; any protocol spec runs on any
+backend that supports it.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.bench import (
     run_adaptive_bench,
+    run_backend_matrix,
     run_crossover,
     run_declarative_overhead,
     run_figure2,
@@ -37,27 +45,34 @@ from repro.bench import (
 )
 from repro.protocols.base import PROTOCOL_REGISTRY
 
+#: Experiment ids whose runners accept a ``backend=`` keyword.
+BACKEND_AWARE = frozenset({"E13", "E14"})
+
 #: experiment id -> (description, full-scale runner, quick runner).
-EXPERIMENTS: Dict[str, tuple[str, Callable[[], str], Callable[[], str]]] = {
+#: Runners take ``backend`` (ignored unless the id is in
+#: :data:`BACKEND_AWARE`; ``None`` means the experiment's default).
+EXPERIMENTS: Dict[
+    str, tuple[str, Callable[[Optional[str]], str], Callable[[Optional[str]], str]]
+] = {
     "E1": (
         "Table 1: related-approach feature matrix",
-        run_table1,
-        run_table1,
+        lambda backend: run_table1(),
+        lambda backend: run_table1(),
     ),
     "E2": (
         "Table 2: request/history/rte schema",
-        run_table2,
-        run_table2,
+        lambda backend: run_table2(),
+        lambda backend: run_table2(),
     ),
     "E3": (
         "Figure 2: MU/SU ratio vs clients (native scheduler)",
-        lambda: run_figure2(duration=240.0),
-        lambda: run_figure2(client_counts=(1, 300, 500), duration=240.0),
+        lambda backend: run_figure2(duration=240.0),
+        lambda backend: run_figure2(client_counts=(1, 300, 500), duration=240.0),
     ),
     "E5": (
         "Section 4.3.2: declarative scheduling overhead",
-        lambda: run_declarative_overhead(include_compiled_comparison=True),
-        lambda: run_declarative_overhead(
+        lambda backend: run_declarative_overhead(include_compiled_comparison=True),
+        lambda backend: run_declarative_overhead(
             client_counts=(300, 500),
             repetitions=1,
             include_compiled_comparison=True,
@@ -65,46 +80,60 @@ EXPERIMENTS: Dict[str, tuple[str, Callable[[], str], Callable[[], str]]] = {
     ),
     "E6": (
         "Section 4.4: native-vs-declarative crossover",
-        lambda: run_crossover(),
-        lambda: run_crossover(client_counts=(300, 500), duration=240.0),
+        lambda backend: run_crossover(),
+        lambda backend: run_crossover(client_counts=(300, 500), duration=240.0),
     ),
     "E7": (
         "Ablation: trigger policies",
-        lambda: run_trigger_ablation(),
-        lambda: run_trigger_ablation(clients=20, duration=2.0),
+        lambda backend: run_trigger_ablation(),
+        lambda backend: run_trigger_ablation(clients=20, duration=2.0),
     ),
     "E8": (
         "Ablation: declarative language backends",
-        lambda: run_language_ablation(),
-        lambda: run_language_ablation(client_counts=(300,), repetitions=1),
+        lambda backend: run_language_ablation(),
+        lambda backend: run_language_ablation(client_counts=(300,), repetitions=1),
     ),
     "E9": (
         "Productivity: declarative vs imperative spec size",
-        run_productivity,
-        run_productivity,
+        lambda backend: run_productivity(),
+        lambda backend: run_productivity(),
     ),
     "E10": (
         "SLA tiers + adaptive consistency",
-        lambda: run_sla_bench() + "\n\n" + run_adaptive_bench(),
-        lambda: run_sla_bench(clients=20, duration=2.0)
+        lambda backend: run_sla_bench() + "\n\n" + run_adaptive_bench(),
+        lambda backend: run_sla_bench(clients=20, duration=2.0)
         + "\n\n"
         + run_adaptive_bench(clients=30, duration=2.0),
     ),
     "E11": (
         "Ablation: incremental view maintenance",
-        lambda: run_incremental_ablation(),
-        lambda: run_incremental_ablation(clients=80, steps=10),
+        lambda backend: run_incremental_ablation(),
+        lambda backend: run_incremental_ablation(clients=80, steps=10),
     ),
     "E12": (
         "Ablation: external MPL admission control",
-        lambda: run_mpl_ablation(),
-        lambda: run_mpl_ablation(duration=60.0, caps=(None, 300)),
+        lambda backend: run_mpl_ablation(),
+        lambda backend: run_mpl_ablation(duration=60.0, caps=(None, 300)),
     ),
     "E13": (
         "Ablation: interpreted pipeline vs compiled query plan",
-        lambda: render_scheduler_step_report(run_scheduler_step_bench()),
-        lambda: render_scheduler_step_report(
-            run_scheduler_step_bench(client_counts=(100, 300), steps=6)
+        lambda backend: render_scheduler_step_report(
+            run_scheduler_step_bench(backend=backend or "compiled")
+        ),
+        lambda backend: render_scheduler_step_report(
+            run_scheduler_step_bench(
+                client_counts=(100, 300), steps=6,
+                backend=backend or "compiled",
+            )
+        ),
+    ),
+    "E14": (
+        "Protocol × backend matrix: per-step cost, identical batches",
+        lambda backend: run_backend_matrix(
+            backends=[backend] if backend else None
+        ),
+        lambda backend: run_backend_matrix(
+            clients=15, steps=6, backends=[backend] if backend else None
         ),
     ),
 }
@@ -123,10 +152,66 @@ def _cmd_list() -> int:
     for name in sorted(PROTOCOL_REGISTRY):
         protocol = PROTOCOL_REGISTRY[name]()
         print(f"  {name:20s} {protocol.description}")
+    print(
+        "\n(see `repro protocols` / `repro backends` for the "
+        "spec × backend matrix)"
+    )
     return 0
 
 
-def _cmd_run(ids: Sequence[str], quick: bool) -> int:
+def _cmd_protocols() -> int:
+    """The spec registry: every protocol and where it can run."""
+    from repro.backends import supported_backends
+    from repro.protocols.spec import SPEC_REGISTRY
+
+    print("registered protocol specs:")
+    for name in sorted(SPEC_REGISTRY):
+        spec = SPEC_REGISTRY[name]
+        backends = ", ".join(supported_backends(spec)) or "(none)"
+        print(f"  {name:18s} {spec.description}")
+        print(f"  {'':18s}   dialects: {', '.join(sorted(spec.dialects()))}")
+        print(f"  {'':18s}   backends: {backends} "
+              f"(default: {spec.default_backend})")
+    return 0
+
+
+def _cmd_backends() -> int:
+    """The backend registry: every execution strategy."""
+    from repro.backends import BACKEND_REGISTRY
+    from repro.protocols.spec import SPEC_REGISTRY
+
+    print("registered execution backends:")
+    for name in sorted(BACKEND_REGISTRY):
+        backend = BACKEND_REGISTRY[name]()
+        supported = [
+            spec_name
+            for spec_name in sorted(SPEC_REGISTRY)
+            if backend.supports(SPEC_REGISTRY[spec_name])
+        ]
+        print(f"  {name:12s} {backend.description}")
+        print(f"  {'':12s}   consumes: {', '.join(backend.consumes)}")
+        print(f"  {'':12s}   runs: {', '.join(supported)}")
+    return 0
+
+
+def _check_backend(backend: Optional[str]) -> Optional[str]:
+    """Exit code 2 with the valid choices on a bad backend name."""
+    if backend is None:
+        return None
+    from repro.backends import BACKEND_REGISTRY, backend_names
+
+    if backend not in BACKEND_REGISTRY:
+        print(
+            f"unknown backend {backend!r}; "
+            f"valid backends: {', '.join(backend_names())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return backend
+
+
+def _cmd_run(ids: Sequence[str], quick: bool, backend: Optional[str]) -> int:
+    _check_backend(backend)
     wanted = list(ids)
     if len(wanted) == 1 and wanted[0].lower() == "all":
         wanted = sorted(EXPERIMENTS, key=_experiment_order)
@@ -141,22 +226,70 @@ def _cmd_run(ids: Sequence[str], quick: bool) -> int:
         print(f"{experiment_id} — {description}")
         print("=" * 78)
         runner = fast if quick else full
-        print(runner())
+        if backend is not None and experiment_id not in BACKEND_AWARE:
+            print(f"(--backend {backend} has no effect on {experiment_id})")
+        print(runner(backend))
         print()
     return 0
 
 
-def _cmd_demo() -> int:
+def _cmd_bench(
+    protocol: str,
+    backend: Optional[str],
+    clients: int,
+    steps: int,
+) -> int:
+    """Drive one protocol × backend pairing through the live scheduler."""
+    _check_backend(backend)
+    from repro.backends import BackendError, build_protocol
+    from repro.bench.incremental_ablation import drive_steps
+    from repro.protocols.spec import SPEC_REGISTRY, spec_names
+
+    if protocol not in SPEC_REGISTRY:
+        print(
+            f"unknown protocol {protocol!r}; "
+            f"registered specs: {', '.join(spec_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        bound = build_protocol(protocol, backend)
+    except BackendError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    result = drive_steps(bound, clients=clients, steps=steps)
+    print(
+        f"{bound.name}: {result.steps} steps, {clients} clients -> "
+        f"{result.total_qualified} qualified, "
+        f"{result.per_step_ms:.3f} ms/step"
+    )
+    return 0
+
+
+def _cmd_demo(protocol: str, backend: Optional[str]) -> int:
+    _check_backend(backend)
     from repro import (
         DeclarativeScheduler,
         Schedule,
-        SS2PLRelalgProtocol,
         is_conflict_serializable,
         is_strict,
         make_transaction,
     )
+    from repro.backends import BackendError
+    from repro.protocols.spec import SPEC_REGISTRY, spec_names
 
-    scheduler = DeclarativeScheduler(SS2PLRelalgProtocol())
+    if protocol not in SPEC_REGISTRY:
+        print(
+            f"unknown protocol {protocol!r}; "
+            f"registered specs: {', '.join(spec_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        scheduler = DeclarativeScheduler.for_spec(protocol, backend)
+    except BackendError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     for txn in (
         make_transaction(1, [("r", 10), ("w", 10)], start_id=1),
         make_transaction(2, [("w", 10), ("w", 20)], start_id=100),
@@ -211,12 +344,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list experiments and protocols")
+    subparsers.add_parser(
+        "protocols", help="list registered protocol specs and their backends"
+    )
+    subparsers.add_parser(
+        "backends", help="list registered execution backends"
+    )
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument("ids", nargs="+", help="experiment ids or 'all'")
     run_parser.add_argument(
         "--quick", action="store_true", help="scaled-down parameters"
     )
-    subparsers.add_parser("demo", help="run the quickstart scenario")
+    run_parser.add_argument(
+        "--backend",
+        help="execution backend for backend-aware experiments (E13/E14)",
+    )
+    bench_parser = subparsers.add_parser(
+        "bench", help="drive one protocol × backend pairing"
+    )
+    bench_parser.add_argument("--protocol", default="ss2pl")
+    bench_parser.add_argument(
+        "--backend", help="execution backend (default: the spec's own)"
+    )
+    bench_parser.add_argument("--clients", type=int, default=100)
+    bench_parser.add_argument("--steps", type=int, default=20)
+    demo_parser = subparsers.add_parser(
+        "demo", help="run the quickstart scenario"
+    )
+    demo_parser.add_argument("--protocol", default="ss2pl")
+    demo_parser.add_argument(
+        "--backend", help="execution backend (default: the spec's own)"
+    )
     sql_parser = subparsers.add_parser(
         "sql", help="run ad-hoc SQL over a demo requests/history instance"
     )
@@ -225,10 +383,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "protocols":
+        return _cmd_protocols()
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "run":
-        return _cmd_run(args.ids, args.quick)
+        return _cmd_run(args.ids, args.quick, args.backend)
+    if args.command == "bench":
+        return _cmd_bench(args.protocol, args.backend, args.clients, args.steps)
     if args.command == "demo":
-        return _cmd_demo()
+        return _cmd_demo(args.protocol, args.backend)
     if args.command == "sql":
         return _cmd_sql(args.query)
     return 2  # pragma: no cover

@@ -102,6 +102,33 @@ class DeclarativeScheduler:
         self.steps_run = 0
         self.total_query_seconds = 0.0
 
+    @classmethod
+    def for_spec(
+        cls,
+        protocol: str,
+        backend: Optional[str] = None,
+        trigger: Optional[TriggerPolicy] = None,
+        config: SchedulerConfig = SchedulerConfig(),
+        metrics: Optional[MetricsCollector] = None,
+        **backend_options,
+    ) -> "DeclarativeScheduler":
+        """Build a scheduler from registry names — the backend-agnostic
+        construction path (``--protocol ss2pl --backend compiled``).
+
+        The scheduler core never sees which engine evaluates the spec;
+        it only holds the bound :class:`~repro.backends.SpecProtocol`.
+        Raises ``KeyError``/``BackendError`` naming the valid choices
+        for a bad protocol/backend name.
+        """
+        from repro.backends import build_protocol
+
+        return cls(
+            build_protocol(protocol, backend, **backend_options),
+            trigger=trigger,
+            config=config,
+            metrics=metrics,
+        )
+
     # -- client-facing ----------------------------------------------------------
 
     def submit(self, request: Request, now: float = 0.0) -> None:

@@ -2,19 +2,24 @@
 
 This package is the paper's deliverable: scheduling protocols defined as
 declarative rules over the ``requests`` (pending) and ``history`` tables
-rather than as hand-coded imperative schedulers.  It covers the paper's
-three protocol classes (Section 3.1):
+rather than as hand-coded imperative schedulers.  Since the
+specification/execution split, it is layered:
 
-(a) **traditional consistency protocols** — SS2PL (the paper's Listing 1,
-    provided in four interchangeable declarative backends: our relational
-    algebra, Datalog, the SDL mini-language, and the paper's literal SQL
-    on sqlite3) and conservative 2PL;
-(b) **service-level agreements** — tier/priority ordering and
-    earliest-deadline-first, composable with any consistency protocol;
-(c) **application-specific consistency** — a relaxed read-committed-style
-    protocol, a domain invariant example (bounded oversell), and an
-    adaptive protocol that switches consistency levels with load
-    (Section 5's "adaptive consistency scheduler").
+* :mod:`repro.protocols.spec` — :class:`ProtocolSpec`, the declarative
+  description of a protocol (queries in several dialects, batch policy,
+  metadata) with zero execution logic, plus the spec registry;
+* :mod:`repro.protocols.library` — the shipped specs: SS2PL (the
+  paper's Listing 1, published and program-order-gated), C2PL, FCFS,
+  read committed, exclusive-only 2PL, priority ceiling, and the
+  bounded-oversell app-consistency family;
+* :mod:`repro.backends` — pluggable execution backends; any spec runs
+  on any backend that can lower one of its dialects
+  (``build_protocol("ss2pl", "datalog")``);
+* the historical per-protocol modules remain as compatibility shims
+  (``SS2PLDatalogProtocol()`` ≡ spec ``ss2pl-listing1`` on backend
+  ``datalog``), and :mod:`repro.protocols.sla` /
+  :mod:`repro.protocols.adaptive` provide protocol *combinators* (SLA
+  ordering, EDF, adaptive consistency) that wrap any bound protocol.
 """
 
 from repro.protocols.base import (
@@ -24,8 +29,21 @@ from repro.protocols.base import (
     PROTOCOL_REGISTRY,
     register_protocol,
 )
+from repro.protocols.spec import (
+    LockModel,
+    ProtocolSpec,
+    SPEC_REGISTRY,
+    get_spec,
+    register_spec,
+    spec_names,
+)
+from repro.protocols import library  # noqa: F401  (registers the specs)
 from repro.protocols.ss2pl import SS2PLRelalgProtocol, PaperListing1Protocol
-from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol, SS2PL_DATALOG_RULES
+from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol
+from repro.protocols.library import (
+    SS2PL_DATALOG_RULES,
+    make_bounded_oversell_spec,
+)
 from repro.protocols.ss2pl_incremental import SS2PLIncrementalProtocol
 from repro.protocols.ss2pl_sqlfront import SqlFrontendSS2PLProtocol
 from repro.protocols.ss2pl_sql import SS2PLSqlProtocol
@@ -42,6 +60,13 @@ __all__ = [
     "ProtocolDecision",
     "PROTOCOL_REGISTRY",
     "register_protocol",
+    "LockModel",
+    "ProtocolSpec",
+    "SPEC_REGISTRY",
+    "get_spec",
+    "register_spec",
+    "spec_names",
+    "make_bounded_oversell_spec",
     "SS2PLRelalgProtocol",
     "PaperListing1Protocol",
     "SS2PLDatalogProtocol",

@@ -1,103 +1,42 @@
-"""Application-specific consistency: the bounded-oversell rule.
+"""Application-specific consistency — compatibility shim.
 
 The paper's motivating domains — "hotel or flight reservation systems,
 or Internet shops like Amazon" (Section 2) — tolerate relaxed
 consistency *except* for domain invariants like "do not oversell a
 flight by more than the overbooking allowance".  With declarative
-scheduling such an invariant is one extra rule, not a new scheduler:
+scheduling such an invariant is one extra rule, not a new scheduler.
 
-    deny a pending ``w`` (reservation) on an object once the number of
-    uncommitted reservations against that object reaches the allowance.
-
-The protocol composes the rule with read-committed-style write-write
-blocking dropped entirely — reservations on *different* objects never
-interact, and concurrent reservations on the same object are allowed up
-to the allowance, showcasing consistency *rationing* per object.
+The parameterized spec factory
+(:func:`repro.protocols.library.make_bounded_oversell_spec`) carries
+the Datalog rules; the exact intra-batch budget is the spec's
+``post_process`` policy, enforced identically on every backend.
 """
 
 from __future__ import annotations
 
-from repro.datalog.engine import Database, evaluate
-from repro.datalog.program import Program
-from repro.model.request import Request
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import (  # noqa: F401
+    BOUNDED_OVERSELL_RULES,
+    make_bounded_oversell_spec,
 )
-from repro.relalg.table import Table
-
-BOUNDED_OVERSELL_RULES = """\
-finished(Ta) :- history(_, Ta, _, "c", _).
-finished(Ta) :- history(_, Ta, _, "a", _).
-pendingres(Obj, Ta) :- history(_, Ta, _, "w", Obj), not finished(Ta).
-rescount(Obj, count(Ta)) :- pendingres(Obj, Ta).
-full(Obj) :- rescount(Obj, N), N >= {allowance}.
-denied(Id) :- requests(Id, _, _, "w", Obj), full(Obj).
-qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj),
-                                 not denied(Id).
-"""
 
 
-class BoundedOversellProtocol(Protocol):
+class BoundedOversellProtocol(SpecProtocol):
     """At most *allowance* uncommitted reservations per object.
 
     Reads always qualify; writes qualify while the object's uncommitted
-    reservation count is below the allowance.  The Datalog rules deny
-    writes on already-full objects; a budget pass then caps intra-batch
-    admissions (a batch of N concurrent reservations on one object may
-    only take the remaining ``allowance - uncommitted`` slots, in
-    arrival order) so the invariant holds *exactly*, not merely between
-    batches.
+    reservation count is below the allowance — exactly, not merely
+    between batches (the budget policy caps intra-batch admissions in
+    arrival order).
     """
 
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-
-    def __init__(self, allowance: int = 3) -> None:
-        if allowance < 1:
-            raise ValueError("allowance must be at least 1")
+    def __init__(self, allowance: int = 3, backend: str = "datalog") -> None:
         self.allowance = allowance
-        self.name = f"bounded-oversell({allowance})"
-        self.description = (
-            f"app-specific consistency: <= {allowance} concurrent "
-            "uncommitted reservations per object"
-        )
-        self.declarative_source = BOUNDED_OVERSELL_RULES.format(
-            allowance=allowance
-        )
-        self._program = Program.parse(self.declarative_source)
+        spec = make_bounded_oversell_spec(allowance)
+        super().__init__(spec, backend=backend)
 
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        db = Database()
-        db.add_facts("requests", requests.rows)
-        db.add_facts("history", history.rows)
-        evaluate(self._program, db)
-        rows = sorted(db.facts("qualified"))
-        decision = ProtocolDecision()
-        for fact in db.facts("denied"):
-            decision.denials[fact[0]] = "object at oversell allowance"
 
-        # Intra-batch budget: remaining slots per object, consumed in
-        # arrival order.
-        uncommitted: dict[int, int] = {}
-        for obj, __ta in db.facts("pendingres"):
-            uncommitted[obj] = uncommitted.get(obj, 0) + 1
-        budget: dict[int, int] = {}
-        for row in rows:
-            request = Request.from_row(row)
-            if request.is_write:
-                remaining = budget.setdefault(
-                    request.obj,
-                    self.allowance - uncommitted.get(request.obj, 0),
-                )
-                if remaining <= 0:
-                    decision.denials[request.id] = (
-                        "batch would exceed oversell allowance"
-                    )
-                    continue
-                budget[request.obj] = remaining - 1
-            decision.qualified.append(request)
-        return decision
+@register_protocol
+def _make_bounded_oversell() -> BoundedOversellProtocol:
+    return BoundedOversellProtocol()

@@ -1,71 +1,36 @@
-"""Conservative 2PL: transactions acquire their whole lock set at once.
+"""Conservative 2PL — compatibility shim.
 
 A classical 2PL variant (deadlock-free by construction): a transaction's
 first request is admitted only when *all* objects in the transaction's
 declared access set are free of conflicting locks; once admitted, the
-transaction's subsequent requests always qualify.
+transaction's subsequent requests always qualify.  The middleware learns
+the access set from the pending batch (workloads submitted
+transaction-at-a-time satisfy this naturally).
 
-Conservative 2PL needs the transaction's full object set up front.  The
-middleware learns it from the pending batch: all requests sharing a TA
-in the pending table declare that transaction's (remaining) accesses —
-workloads submitted transaction-at-a-time (the scheduler's batch mode)
-satisfy this naturally.  The declarative formulation predeclares via the
-``claims`` relation derived from the pending set.
+Rules live in :mod:`repro.protocols.library` (``c2pl``); this class is
+the historical name for ``build_protocol("c2pl", "datalog")``.
 """
 
 from __future__ import annotations
 
-from repro.datalog.engine import Database, evaluate
-from repro.datalog.program import Program
-from repro.model.request import Request
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-)
-from repro.relalg.table import Table
-
-C2PL_DATALOG_RULES = """\
-finished(Ta) :- history(_, Ta, _, "c", _).
-finished(Ta) :- history(_, Ta, _, "a", _).
-admitted(Ta) :- history(_, Ta, _, _, _), not finished(Ta).
-locked(Obj, Ta, Op) :- history(_, Ta, _, Op, Obj), not finished(Ta).
-claims(Obj, Ta, Op) :- requests(_, Ta, _, Op, Obj), not admitted(Ta).
-claimconflict(Ta) :- claims(Obj, Ta, _), locked(Obj, Ta2, "w"), Ta != Ta2.
-claimconflict(Ta) :- claims(Obj, Ta, "w"), locked(Obj, Ta2, "r"), Ta != Ta2.
-claimconflict(Ta) :- claims(Obj, Ta, Op2), claims(Obj, Ta1, Op1), Ta > Ta1,
-                     conflictops(Op1, Op2).
-conflictops("w", "w").
-conflictops("w", "r").
-conflictops("r", "w").
-qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj), admitted(Ta).
-qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj),
-                                 not admitted(Ta), not claimconflict(Ta).
-"""
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import C2PL_DATALOG_RULES  # noqa: F401
+from repro.protocols.spec import get_spec
 
 
-class ConservativeTwoPLProtocol(Protocol):
-    """Conservative (static) 2PL as a Datalog rule set (see module doc)."""
+class ConservativeTwoPLProtocol(SpecProtocol):
+    """Conservative (static) 2PL as a Datalog rule set."""
 
     name = "c2pl"
     description = "conservative 2PL: all-or-nothing transaction admission"
-    capabilities = Capabilities(
-        performance=True, declarative=True, flexible=True, high_scalability=True
-    )
-    declarative_source = C2PL_DATALOG_RULES
 
-    def __init__(self) -> None:
-        self._program = Program.parse(C2PL_DATALOG_RULES)
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        db = Database()
-        db.add_facts("requests", requests.rows)
-        db.add_facts("history", history.rows)
-        evaluate(self._program, db)
-        rows = sorted(db.facts("qualified"))
-        return ProtocolDecision(
-            qualified=[Request.from_row(row) for row in rows]
+    def __init__(self, backend: str = "datalog") -> None:
+        super().__init__(
+            get_spec("c2pl"),
+            backend=backend,
+            name=type(self).name,
+            description=type(self).description,
         )
 
 

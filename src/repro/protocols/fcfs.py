@@ -1,50 +1,33 @@
-"""First-come-first-served: the no-consistency baseline protocol.
+"""First-come-first-served — compatibility shim.
 
-Qualifies every pending request in arrival (id) order.  This is the
-scheduler's "non-scheduling mode" expressed as a protocol — useful as
-the lower bound on declarative-scheduling overhead and as the
-consistency-free arm of the adaptive protocol.
+The no-consistency baseline protocol: qualifies every pending request
+in arrival (id) order.  Spec in :mod:`repro.protocols.library`
+(``fcfs``), runnable on every backend — useful as the lower bound on
+declarative-scheduling overhead and as the consistency-free arm of the
+adaptive protocol.
 """
 
 from __future__ import annotations
 
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-    requests_from_relation,
-)
-from repro.relalg.plan import PlanCache
-from repro.relalg.query import Query
-from repro.relalg.table import Table
-
-FCFS_RULES = """\
-qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj).
-"""
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import FCFS_RULES  # noqa: F401
+from repro.protocols.spec import get_spec
 
 
-class FCFSProtocol(Protocol):
+class FCFSProtocol(SpecProtocol):
     """Admit everything, ordered by request id."""
 
     name = "fcfs"
     description = "first-come-first-served, no consistency constraints"
-    capabilities = Capabilities(
-        performance=True, declarative=True, flexible=True, high_scalability=True
-    )
-    declarative_source = FCFS_RULES
 
-    def __init__(self) -> None:
-        self._plans = PlanCache(
-            lambda requests: Query.from_(requests).order_by("id")
+    def __init__(self, backend: str = "compiled") -> None:
+        super().__init__(
+            get_spec("fcfs"),
+            backend=backend,
+            name=type(self).name,
+            description=type(self).description,
         )
-
-    def reset(self) -> None:
-        self._plans.clear()
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        relation = self._plans.get(requests).execute()
-        return ProtocolDecision(qualified=requests_from_relation(relation.rows))
 
 
 @register_protocol

@@ -1,65 +1,37 @@
-"""Relaxed consistency: a read-committed-style protocol.
+"""Relaxed consistency (read committed) — compatibility shim.
 
 The paper argues (Section 2, citing the CAP theorem, Amazon/Ebay
 practice and Consistency Rationing) that "relaxed consistency is
-necessary for highly scalable systems" and that its declarative
-scheduler should make such levels definable as rules.  This protocol is
-that demonstration: relative to SS2PL it drops read locks entirely —
-
-* reads are never blocked (they may read committed-overwritten state),
-* writes still conflict with uncommitted writes (no lost updates),
-
-which matches the lock-based implementation of READ COMMITTED with
-short read locks, stated in three Datalog rules instead of a new
+necessary for highly scalable systems".  Relative to SS2PL this
+protocol drops read locks entirely: reads are never blocked, writes
+still conflict with uncommitted writes (no lost updates) — READ
+COMMITTED with short read locks, three Datalog rules instead of a new
 hand-written scheduler.
+
+Spec in :mod:`repro.protocols.library` (``read-committed``), with
+relalg/SQL/lock-model dialects alongside the Datalog formulation.
 """
 
 from __future__ import annotations
 
-from repro.datalog.engine import Database, evaluate
-from repro.datalog.program import Program
-from repro.model.request import Request
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-)
-from repro.relalg.table import Table
-
-READ_COMMITTED_RULES = """\
-finished(Ta) :- history(_, Ta, _, "c", _).
-finished(Ta) :- history(_, Ta, _, "a", _).
-wlocked(Obj, Ta) :- history(_, Ta, _, "w", Obj), not finished(Ta).
-denied(Id) :- requests(Id, Ta, _, "w", Obj), wlocked(Obj, Ta2), Ta != Ta2.
-denied(Id2) :- requests(Id2, Ta2, _, "w", Obj), requests(_, Ta1, _, "w", Obj),
-               Ta2 > Ta1.
-qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj),
-                                 not denied(Id).
-"""
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import READ_COMMITTED_RULES  # noqa: F401
+from repro.protocols.spec import get_spec
 
 
-class ReadCommittedProtocol(Protocol):
-    """Write-write blocking only; reads always qualify (see module doc)."""
+class ReadCommittedProtocol(SpecProtocol):
+    """Write-write blocking only; reads always qualify."""
 
     name = "read-committed"
     description = "relaxed consistency: only write-write conflicts block"
-    capabilities = Capabilities(
-        performance=True, declarative=True, flexible=True, high_scalability=True
-    )
-    declarative_source = READ_COMMITTED_RULES
 
-    def __init__(self) -> None:
-        self._program = Program.parse(READ_COMMITTED_RULES)
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        db = Database()
-        db.add_facts("requests", requests.rows)
-        db.add_facts("history", history.rows)
-        evaluate(self._program, db)
-        rows = sorted(db.facts("qualified"))
-        return ProtocolDecision(
-            qualified=[Request.from_row(row) for row in rows]
+    def __init__(self, backend: str = "datalog") -> None:
+        super().__init__(
+            get_spec("read-committed"),
+            backend=backend,
+            name=type(self).name,
+            description=type(self).description,
         )
 
 

@@ -1,329 +1,71 @@
-"""Strong strict 2PL as a declarative query — the paper's Listing 1.
+"""SS2PL protocol classes — thin shims over the spec layer.
 
-:class:`PaperListing1Protocol` transliterates Listing 1 CTE-by-CTE onto
-the relational-algebra engine; the class docstring of each pipeline step
-quotes the corresponding SQL.  Like the paper, it assumes each
-transaction accesses an object at most once.
-
-:class:`SS2PLRelalgProtocol` extends the paper's query with two rules a
-*running* (rather than trace-replaying) scheduler needs:
-
-* program order — a request qualifies only when every earlier request of
-  its transaction (lower INTRATA) has already executed;
-* termination gating — a commit/abort qualifies only when all of its
-  transaction's data accesses have executed.
-
-Both classes produce batches that keep history + batch SS2PL-legal:
-executing the qualified requests in the returned order violates no
-SS2PL lock that Listing 1's semantics would have enforced.
+The query logic formerly in this module (the paper's Listing 1 SQL, the
+relalg transliterations, the Datalog rules) now lives in
+:mod:`repro.protocols.library` as the single ``ss2pl-listing1`` /
+``ss2pl`` :class:`~repro.protocols.spec.ProtocolSpec` pair; execution
+strategy selection lives in :mod:`repro.backends`.  The classes here
+keep the historical construction API (``compiled=`` flag, ``_plans``
+plan cache, ``explain``) on top of ``spec + backend``.
 """
 
 from __future__ import annotations
 
-from repro.model.request import Operation
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-    requests_from_relation,
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import (  # noqa: F401  (re-exported API)
+    LISTING1_SPEC,
+    LISTING1_SQL,
+    SS2PL_SPEC,
+    gate_program_order,
+    listing1_pipeline,
+    listing1_query,
 )
-from repro.relalg.expressions import col, is_null, lit, or_
-from repro.relalg.plan import PlanCache
-from repro.relalg.query import Pipeline, Query, cte
 from repro.relalg.table import Table
 
-#: The literal SQL of the paper's Listing 1 (kept here as the protocol's
-#: declarative source of record; executed verbatim by
-#: :mod:`repro.sqlbridge` for cross-validation).
-LISTING1_SQL = """\
-WITH RLockedObjects AS
- (SELECT a.object, a.ta, a.operation
-  FROM history a
-  WHERE NOT EXISTS
-   (SELECT * FROM history b
-    WHERE (a.ta=b.ta AND a.object=b.object AND b.operation='w')
-       OR (a.ta=b.ta AND (b.operation='a' OR b.operation='c')))),
-WLockedObjects AS
- (SELECT DISTINCT a.object, a.ta, a.operation
-  FROM history a LEFT JOIN
-   (SELECT ta FROM history
-    WHERE operation='a' OR operation='c') AS finishedTAs
-   ON a.ta = finishedTAs.ta
-  WHERE a.operation='w' AND finishedTAs.ta IS NULL),
-OperationsOnWLockedObjects AS
- (SELECT r.ta, r.intrata
-  FROM requests r, WLockedObjects wlo
-  WHERE r.object=wlo.object AND r.ta<>wlo.ta),
-OperationsOnRLockedObjects AS
- (SELECT wOpsOnRLObj.ta, wOpsOnRLObj.intrata
-  FROM requests wOpsOnRLObj, RLockedObjects rl
-  WHERE wOpsOnRLObj.object=rl.object
-    AND wOpsOnRLObj.operation='w'
-    AND wOpsOnRLObj.ta<>rl.ta),
-OpsOnSameObjAsPriorSelectOps AS
- (SELECT r2.ta, r2.intrata
-  FROM requests r2, requests r1
-  WHERE r2.object=r1.object AND r2.ta>r1.ta
-    AND ((r1.operation='w') OR (r2.operation='w'))),
-QualifiedSS2PLOps AS
- ((SELECT ta, intrata FROM requests)
-  EXCEPT (
-   (SELECT * FROM OperationsOnWLockedObjects)
-   UNION ALL
-   (SELECT * FROM OpsOnSameObjAsPriorSelectOps)
-   UNION ALL
-   (SELECT * FROM OperationsOnRLockedObjects)))
-SELECT r2.*
-FROM requests r2, QualifiedSS2PLOps ss2PL
-WHERE r2.ta=ss2PL.ta AND r2.intrata=ss2PL.intrata
-"""
 
+class _Listing1Backed(SpecProtocol):
+    """Listing 1 on the relalg engine with a switchable evaluation
+    strategy: ``compiled=True`` (default) binds the compile-once
+    backend, ``compiled=False`` the eager interpreted pipeline
+    (benchmarks measure one against the other; tests assert
+    byte-identical batches)."""
 
-def listing1_pipeline(requests: Table, history: Table) -> Pipeline:
-    """Evaluate Listing 1 on the relalg engine, one CTE per step.
-
-    Returns the finished :class:`Pipeline`; the final step is named
-    ``qualified_requests`` and has the full Table 2 schema.
-    """
-    p = Pipeline()
-    p.add_table("requests", requests, alias="r")
-    p.add_table("history", history, alias="h")
-
-    # RLockedObjects: history rows `a` such that no row `b` of the same
-    # transaction writes the same object or terminates the transaction —
-    # i.e. read locks held by still-active transactions.
-    history_a = Query.from_(history, alias="a")
-    history_b = Query.from_(history, alias="b")
-    writes_same_obj = history_b.where(col("b.operation") == lit("w")).select(
-        "b.ta", "b.object"
-    )
-    finished = (
-        Query.from_(history, alias="b")
-        .where(or_(col("b.operation") == lit("a"), col("b.operation") == lit("c")))
-        .select("b.ta")
-        .distinct()
-    )
-    r_locked = (
-        history_a.anti_join(
-            Query.from_(writes_same_obj.execute(), alias="wso"),
-            on=(col("a.ta") == col("wso.ta")) & (col("a.object") == col("wso.object")),
-        )
-        .anti_join(
-            Query.from_(finished.execute(), alias="fin"),
-            on=col("a.ta") == col("fin.ta"),
-        )
-        .select("a.object", "a.ta", "a.operation")
-    )
-    p.add("RLockedObjects", r_locked)
-
-    # WLockedObjects: DISTINCT writes of transactions with no commit/abort
-    # (the paper uses LEFT JOIN ... IS NULL; we keep that shape).
-    finished_tas = (
-        Query.from_(history, alias="f")
-        .where(or_(col("f.operation") == lit("a"), col("f.operation") == lit("c")))
-        .select("f.ta")
-        .distinct()
-    )
-    w_locked = (
-        Query.from_(history, alias="a")
-        .left_join(
-            Query.from_(finished_tas.execute(), alias="finishedTAs"),
-            on=col("a.ta") == col("finishedTAs.ta"),
-        )
-        .where(
-            (col("a.operation") == lit("w")) & is_null(col("finishedTAs.ta"))
-        )
-        .select("a.object", "a.ta", "a.operation")
-        .distinct()
-    )
-    p.add("WLockedObjects", w_locked)
-
-    # OperationsOnWLockedObjects: pending ops touching a write-locked
-    # object of another transaction.
-    ops_on_w = (
-        p.ref("requests")
-        .join(
-            Query.from_(p["WLockedObjects"], alias="wlo"),
-            on=(col("r.object") == col("wlo.object"))
-            & (col("r.ta") != col("wlo.ta")),
-        )
-        .select("r.ta", "r.intrata")
-    )
-    p.add("OperationsOnWLockedObjects", ops_on_w)
-
-    # OperationsOnRLockedObjects: pending WRITES touching a read-locked
-    # object of another transaction.
-    ops_on_r = (
-        p.ref("requests")
-        .where(col("r.operation") == lit("w"))
-        .join(
-            Query.from_(p["RLockedObjects"], alias="rl"),
-            on=(col("r.object") == col("rl.object")) & (col("r.ta") != col("rl.ta")),
-        )
-        .select("r.ta", "r.intrata")
-    )
-    p.add("OperationsOnRLockedObjects", ops_on_r)
-
-    # OpsOnSameObjAsPriorSelectOps: intra-batch conflicts — a pending op
-    # of a *later* transaction conflicting with a pending op of an
-    # earlier one (at least one of the two writes).
-    intra_batch = (
-        Query.from_(requests, alias="r2")
-        .join(
-            Query.from_(requests, alias="r1"),
-            on=(col("r2.object") == col("r1.object")) & (col("r2.ta") > col("r1.ta")),
-        )
-        .where(
-            or_(
-                col("r1.operation") == lit("w"),
-                col("r2.operation") == lit("w"),
-            )
-        )
-        .select("r2.ta", "r2.intrata")
-    )
-    p.add("OpsOnSameObjAsPriorSelectOps", intra_batch)
-
-    # QualifiedSS2PLOps: all pending (ta, intrata) EXCEPT the union of
-    # the three denial sets (set semantics, as SQL EXCEPT).
-    all_ops = p.ref("requests").select("r.ta", "r.intrata")
-    denials = (
-        p.ref("OperationsOnWLockedObjects")
-        .union_all(p.ref("OpsOnSameObjAsPriorSelectOps"))
-        .union_all(p.ref("OperationsOnRLockedObjects"))
-    )
-    qualified_keys = all_ops.except_(denials)
-    p.add("QualifiedSS2PLOps", qualified_keys)
-
-    # Final join back to the full request rows.
-    qualified = (
-        Query.from_(requests, alias="r2")
-        .join(
-            Query.from_(p["QualifiedSS2PLOps"], alias="q"),
-            on=(col("r2.ta") == col("q.ta")) & (col("r2.intrata") == col("q.intrata")),
-        )
-        .select("r2.id", "r2.ta", "r2.intrata", "r2.operation", "r2.object")
-        .order_by("id")
-    )
-    p.add("qualified_requests", qualified)
-    return p
-
-
-def listing1_query(requests: Table, history: Table) -> Query:
-    """Listing 1 as one *deferred* plan DAG over live tables.
-
-    Where :func:`listing1_pipeline` materializes each CTE eagerly (and
-    therefore must be rebuilt per scheduler step), this form contains no
-    snapshots: compiled once via :meth:`Query.compile`, the resulting
-    plan is re-executable against the tables' current contents every
-    step.  Shared CTEs (``FinishedTAs`` feeds both lock views) are
-    single nodes, computed at most once per execution.
-    """
-    # Read locks: history rows `a` whose transaction neither wrote the
-    # same object nor terminated.
-    writes_same_obj = cte(
-        Query.from_(history, alias="b")
-        .where(col("b.operation") == lit("w"))
-        .select("b.ta", "b.object"),
-        "WritesSameObject",
-    )
-    finished = cte(
-        Query.from_(history, alias="f")
-        .where(or_(col("f.operation") == lit("a"), col("f.operation") == lit("c")))
-        .select("f.ta")
-        .distinct(),
-        "FinishedTAs",
-    )
-    r_locked = cte(
-        Query.from_(history, alias="a")
-        .anti_join(
-            Query.from_(writes_same_obj, alias="wso"),
-            on=(col("a.ta") == col("wso.ta")) & (col("a.object") == col("wso.object")),
-        )
-        .anti_join(
-            Query.from_(finished, alias="fin"),
-            on=col("a.ta") == col("fin.ta"),
-        )
-        .select("a.object", "a.ta", "a.operation"),
-        "RLockedObjects",
-    )
-    # Write locks: DISTINCT writes of unfinished transactions (the
-    # paper's LEFT JOIN ... IS NULL shape).
-    w_locked = cte(
-        Query.from_(history, alias="a")
-        .left_join(
-            Query.from_(finished, alias="finishedTAs"),
-            on=col("a.ta") == col("finishedTAs.ta"),
-        )
-        .where((col("a.operation") == lit("w")) & is_null(col("finishedTAs.ta")))
-        .select("a.object", "a.ta", "a.operation")
-        .distinct(),
-        "WLockedObjects",
-    )
-
-    ops_on_w = (
-        Query.from_(requests, alias="r")
-        .join(
-            Query.from_(w_locked, alias="wlo"),
-            on=(col("r.object") == col("wlo.object")) & (col("r.ta") != col("wlo.ta")),
-        )
-        .select("r.ta", "r.intrata")
-    )
-    ops_on_r = (
-        Query.from_(requests, alias="r")
-        .where(col("r.operation") == lit("w"))
-        .join(
-            Query.from_(r_locked, alias="rl"),
-            on=(col("r.object") == col("rl.object")) & (col("r.ta") != col("rl.ta")),
-        )
-        .select("r.ta", "r.intrata")
-    )
-    intra_batch = (
-        Query.from_(requests, alias="r2")
-        .join(
-            Query.from_(requests, alias="r1"),
-            on=(col("r2.object") == col("r1.object")) & (col("r2.ta") > col("r1.ta")),
-        )
-        .where(
-            or_(
-                col("r1.operation") == lit("w"),
-                col("r2.operation") == lit("w"),
-            )
-        )
-        .select("r2.ta", "r2.intrata")
-    )
-
-    all_ops = Query.from_(requests, alias="r").select("r.ta", "r.intrata")
-    denials = ops_on_w.union_all(intra_batch).union_all(ops_on_r)
-    qualified_keys = cte(all_ops.except_(denials), "QualifiedSS2PLOps")
-    return (
-        Query.from_(requests, alias="r2")
-        .join(
-            Query.from_(qualified_keys, alias="q"),
-            on=(col("r2.ta") == col("q.ta")) & (col("r2.intrata") == col("q.intrata")),
-        )
-        .select("r2.id", "r2.ta", "r2.intrata", "r2.operation", "r2.object")
-        .order_by("id")
-    )
-
-
-class _Listing1Backed(Protocol):
-    """Shared machinery of the Listing 1 protocols: a per-table-pair
-    cache of compiled plans, with the interpreted pipeline kept as a
-    switchable reference path (benchmarks measure one against the
-    other; tests assert byte-identical batches)."""
+    spec_name = "ss2pl-listing1"
 
     def __init__(self, compiled: bool = True) -> None:
-        self.compiled = compiled
-        self._plans = PlanCache(listing1_query)
+        from repro.protocols.spec import get_spec
 
-    def _qualified_rows(self, requests: Table, history: Table) -> list[tuple]:
-        if self.compiled:
-            return self._plans.get(requests, history).execute().rows
-        return listing1_pipeline(requests, history)["qualified_requests"].rows
+        self.compiled = compiled
+        super().__init__(
+            get_spec(self.spec_name),
+            backend="compiled" if compiled else "interpreted",
+            name=type(self).name,
+            description=type(self).description,
+        )
+        # In interpreted mode the evaluator holds no plans; EXPLAIN and
+        # the historical ``_plans`` accessor still work through a
+        # lazily built compiled view of the same spec.
+        self._compat_plans = None
+
+    @property
+    def _plans(self):
+        """The compiled plan cache for this protocol's query (compat
+        accessor; available in both evaluation modes, as before the
+        spec/backend split)."""
+        plans = getattr(self._evaluator, "plans", None)
+        if plans is not None:
+            return plans
+        if self._compat_plans is None:
+            from repro.relalg.plan import PlanCache
+
+            self._compat_plans = PlanCache(self.spec.relalg)
+        return self._compat_plans
 
     def reset(self) -> None:
-        self._plans.clear()
+        super().reset()
+        if self._compat_plans is not None:
+            self._compat_plans.clear()
 
     def explain(self, requests: Table, history: Table) -> str:
         """Physical EXPLAIN of the cached plan for this table pair."""
@@ -331,7 +73,7 @@ class _Listing1Backed(Protocol):
 
 
 class PaperListing1Protocol(_Listing1Backed):
-    """Listing 1 exactly as published (see module docstring).
+    """Listing 1 exactly as published.
 
     Published semantics are kept untouched, including the naive aspects
     the paper acknowledges (Section 5 calls this approach "naive"): no
@@ -340,74 +82,20 @@ class PaperListing1Protocol(_Listing1Backed):
     requests (object ``-1``, operation ``c``/``a``) always qualify: they
     collide with no data object and the intra-batch rule requires a
     write on at least one side.
-
-    By default the query is compiled once per (requests, history) table
-    pair and only executed per step; ``compiled=False`` evaluates the
-    eager interpreted pipeline instead (the paper's naive mode).
     """
 
     name = "ss2pl-listing1"
     description = "SS2PL via the paper's Listing 1 query, relalg backend"
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-    declarative_source = LISTING1_SQL
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        rows = self._qualified_rows(requests, history)
-        return ProtocolDecision(qualified=requests_from_relation(rows))
+    spec_name = "ss2pl-listing1"
 
 
 class SS2PLRelalgProtocol(_Listing1Backed):
-    """Listing 1 plus program-order and termination gating (see module
-    docstring) — the variant the live middleware runs."""
+    """Listing 1 plus program-order and termination gating (the spec's
+    ``post_process`` policy) — the variant the live middleware runs."""
 
     name = "ss2pl"
     description = "SS2PL (Listing 1 + program order), relalg backend"
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-    declarative_source = LISTING1_SQL
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        qualified = requests_from_relation(
-            self._qualified_rows(requests, history)
-        )
-        if not qualified:
-            return ProtocolDecision()
-
-        # Program order: request r may run only when all earlier intratas
-        # of its transaction are already in history, or ahead of r within
-        # this batch.  Executed-count per transaction from history (the
-        # stores maintain a hash index on ta; fall back to a scan for
-        # bare tables):
-        executed: dict[int, int] = {}
-        ta_index = history.index_on("ta")
-        if ta_index is not None:
-            for key, bucket in ta_index.buckets.items():
-                executed[key[0]] = len(bucket)
-        else:
-            history_ta_pos = history.schema.resolve("ta")
-            for row in history.rows:
-                ta = row[history_ta_pos]
-                executed[ta] = executed.get(ta, 0) + 1
-
-        decision = ProtocolDecision()
-        progress = dict(executed)
-        for request in qualified:
-            done = progress.get(request.ta, 0)
-            if request.intrata != done:
-                decision.denials[request.id] = (
-                    f"out of program order: intrata {request.intrata}, "
-                    f"executed {done}"
-                )
-                continue
-            if request.operation.is_termination or request.operation.is_data_access:
-                decision.qualified.append(request)
-                progress[request.ta] = done + 1
-        return decision
+    spec_name = "ss2pl"
 
 
 @register_protocol

@@ -1,81 +1,44 @@
-"""SS2PL as a Datalog program — the succinct-language formulation.
+"""SS2PL on the Datalog backend — compatibility shim.
 
-The paper's Section 5: "Our next steps will focus on the search or
-development of a suitable declarative scheduler language which is more
-succinct than SQL."  The rule set below says the same thing as the 40+
-line SQL of Listing 1 in a dozen lines, predicate by predicate:
-
-* ``finished`` / ``wlocked`` / ``rlocked`` are exactly Listing 1's
-  ``finishedTAs`` / ``WLockedObjects`` / ``RLockedObjects`` CTEs;
-* the three ``denied`` rules are the three denial CTEs;
-* ``qualified`` is the EXCEPT.
+The rule set (``SS2PL_DATALOG_RULES``, re-exported here) lives in
+:mod:`repro.protocols.library`; evaluation lives in
+:mod:`repro.backends.datalog`.  This class is the historical name for
+``build_protocol("ss2pl-listing1", "datalog")`` plus why-provenance
+(:meth:`explain_denial`).
 """
 
 from __future__ import annotations
 
-from repro.datalog.engine import Database, evaluate
-from repro.datalog.program import Program
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-)
-from repro.model.request import Request
-from repro.relalg.table import Table
-
-SS2PL_DATALOG_RULES = """\
-finished(Ta) :- history(_, Ta, _, "c", _).
-finished(Ta) :- history(_, Ta, _, "a", _).
-wlocked(Obj, Ta) :- history(_, Ta, _, "w", Obj), not finished(Ta).
-rlocked(Obj, Ta) :- history(_, Ta, _, "r", Obj), not finished(Ta),
-                    not wlocked(Obj, Ta).
-denied(Id) :- requests(Id, Ta, _, _, Obj), wlocked(Obj, Ta2), Ta != Ta2.
-denied(Id) :- requests(Id, Ta, _, "w", Obj), rlocked(Obj, Ta2), Ta != Ta2.
-denied(Id2) :- requests(Id2, Ta2, _, Op2, Obj), requests(_, Ta1, _, Op1, Obj),
-               Ta2 > Ta1, conflictops(Op1, Op2).
-conflictops("w", "w").
-conflictops("w", "r").
-conflictops("r", "w").
-qualified(Id, Ta, I, Op, Obj) :- requests(Id, Ta, I, Op, Obj),
-                                 not denied(Id).
-"""
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import SS2PL_DATALOG_RULES  # noqa: F401
+from repro.protocols.spec import get_spec
 
 
-class SS2PLDatalogProtocol(Protocol):
-    """SS2PL via the Datalog rule set above.
+class SS2PLDatalogProtocol(SpecProtocol):
+    """SS2PL via the Datalog rule set.
 
     Result-equivalent to :class:`~repro.protocols.ss2pl.
-    PaperListing1Protocol` on every pending/history instance (asserted by
-    the cross-backend test and bench suites), while the specification is
+    PaperListing1Protocol` on every pending/history instance (asserted
+    by the cross-backend matrix test), while the specification is
     roughly a quarter of the SQL's size — the paper's succinctness
     hypothesis, made measurable (benchmark E9).
     """
 
     name = "ss2pl-datalog"
     description = "SS2PL as 12 Datalog rules"
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-    declarative_source = SS2PL_DATALOG_RULES
 
     def __init__(self) -> None:
-        self._program = Program.parse(SS2PL_DATALOG_RULES)
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        db = Database()
-        db.add_facts("requests", requests.rows)
-        db.add_facts("history", history.rows)
-        evaluate(self._program, db)
-        self._last_db = db
-        qualified_rows = sorted(db.facts("qualified"))  # id order
-        decision = ProtocolDecision(
-            qualified=[Request.from_row(row) for row in qualified_rows]
+        super().__init__(
+            get_spec("ss2pl-listing1"),
+            backend="datalog",
+            name=type(self).name,
+            description=type(self).description,
         )
-        for fact in db.facts("denied"):
-            decision.denials[fact[0]] = "denied by SS2PL rules"
-        return decision
+
+    @property
+    def _program(self):
+        return self._evaluator.program
 
     def explain_denial(self, request_id: int) -> str:
         """Why-provenance for the last batch's denial of *request_id*.
@@ -84,12 +47,7 @@ class SS2PLDatalogProtocol(Protocol):
         :mod:`repro.datalog.explain`); raises when the request was not
         denied in the most recent :meth:`schedule` call.
         """
-        from repro.datalog.explain import explain
-
-        db = getattr(self, "_last_db", None)
-        if db is None:
-            raise RuntimeError("no schedule() call to explain yet")
-        return explain(self._program, db, "denied", (request_id,)).format()
+        return self._evaluator.explain_denial(request_id)
 
 
 @register_protocol

@@ -1,161 +1,67 @@
-"""Incrementally maintained SS2PL — answering research question 4.
+"""Incrementally maintained SS2PL — compatibility shim.
 
-The paper asks: "How can the performance of declaratively programmed
-schedulers be improved?"  One classical answer from declarative query
-processing is **incremental view maintenance**: Listing 1's
-``WLockedObjects`` / ``RLockedObjects`` CTEs are views over the history
-relation, and history changes only by (a) appending the executed batch
-and (b) pruning finished transactions.  Both deltas are available to
-the protocol through the scheduler's ``observe_*`` hooks, so the lock
-footprint can be maintained in O(|batch|) per step instead of being
-re-derived in O(|history|).
+The historical name for ``build_protocol("ss2pl-listing1",
+"incremental")``: research question 4 answered with incremental view
+maintenance of the lock footprint, now implemented once for *any*
+lock-model spec in :mod:`repro.backends.incremental`.  Semantics are
+identical to :class:`~repro.protocols.ss2pl.PaperListing1Protocol`;
+the equivalence is asserted by the matrix test and measured by E11.
 
-Semantics are identical to :class:`~repro.protocols.ss2pl.
-PaperListing1Protocol`; the equivalence is asserted by tests and by the
-E8 ablation bench, which also measures the speedup.
-
-Because the state lives in the protocol, it must observe *every*
-history change.  Driving it through :class:`~repro.core.scheduler.
-DeclarativeScheduler` guarantees that; for standalone use, call
-:meth:`resync` after loading history out-of-band.
+Because the maintained state lives in the evaluator, it must observe
+*every* history change.  Driving it through
+:class:`~repro.core.scheduler.DeclarativeScheduler` guarantees that;
+for standalone use, call :meth:`SS2PLIncrementalProtocol.resync` after
+loading history out-of-band.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.model.request import Operation, Request
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-)
-from repro.protocols.ss2pl import LISTING1_SQL
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.spec import get_spec
 from repro.relalg.table import Table
 
 
-class SS2PLIncrementalProtocol(Protocol):
+class SS2PLIncrementalProtocol(SpecProtocol):
     """Listing 1 semantics with incrementally maintained lock views."""
 
     name = "ss2pl-incremental"
     description = "SS2PL with incrementally maintained lock footprint"
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-    declarative_source = LISTING1_SQL  # same rule, faster evaluation plan
 
     def __init__(self) -> None:
-        #: obj -> set of active writer transactions (WLockedObjects).
-        self._write_locks: dict[int, set[int]] = {}
-        #: obj -> set of active pure-reader transactions (RLockedObjects).
-        self._read_locks: dict[int, set[int]] = {}
-        #: ta -> objects it has read / written (for pruning and upgrades).
-        self._reads_of: dict[int, set[int]] = {}
-        self._writes_of: dict[int, set[int]] = {}
-        self._finished: set[int] = set()
-
-    # -- incremental maintenance -------------------------------------------------
-
-    def observe_executed(self, batch: Sequence[Request]) -> None:
-        for request in batch:
-            ta = request.ta
-            if request.operation is Operation.WRITE:
-                self._writes_of.setdefault(ta, set()).add(request.obj)
-                if ta not in self._finished:
-                    self._write_locks.setdefault(request.obj, set()).add(ta)
-                    # A write subsumes the transaction's own read lock.
-                    readers = self._read_locks.get(request.obj)
-                    if readers:
-                        readers.discard(ta)
-            elif request.operation is Operation.READ:
-                self._reads_of.setdefault(ta, set()).add(request.obj)
-                if ta not in self._finished and request.obj not in self._writes_of.get(
-                    ta, ()
-                ):
-                    self._read_locks.setdefault(request.obj, set()).add(ta)
-            else:  # commit/abort: release everything the transaction holds
-                self._finished.add(ta)
-                self._release(ta)
-
-    def observe_pruned(self, transactions: set[int]) -> None:
-        for ta in transactions:
-            self._release(ta)
-            self._reads_of.pop(ta, None)
-            self._writes_of.pop(ta, None)
-            self._finished.discard(ta)
-
-    def _release(self, ta: int) -> None:
-        for obj in self._writes_of.get(ta, ()):
-            holders = self._write_locks.get(obj)
-            if holders:
-                holders.discard(ta)
-                if not holders:
-                    del self._write_locks[obj]
-        for obj in self._reads_of.get(ta, ()):
-            holders = self._read_locks.get(obj)
-            if holders:
-                holders.discard(ta)
-                if not holders:
-                    del self._read_locks[obj]
-
-    def reset(self) -> None:
-        self.__init__()
+        super().__init__(
+            get_spec("ss2pl-listing1"),
+            backend="incremental",
+            name=type(self).name,
+            description=type(self).description,
+        )
 
     def resync(self, history: Table) -> None:
         """Rebuild the incremental state from a history table (for
         standalone use where history was loaded out-of-band)."""
-        self.reset()
-        id_pos = history.schema.resolve("id")
-        rows = sorted(history.rows, key=lambda row: row[id_pos])
-        self.observe_executed([Request.from_row(row) for row in rows])
+        self._evaluator.resync(history)
 
-    # -- scheduling ---------------------------------------------------------------
+    # -- compat accessors for the maintained views ------------------------
 
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        """Same qualified set as Listing 1, from the maintained views.
+    @property
+    def _write_locks(self):
+        return self._evaluator._write_locks
 
-        The *history* argument is ignored by design — the state already
-        reflects it.  The intra-batch rule is evaluated per step like the
-        imperative baseline: claims are registered in TA order whether
-        or not the claiming request qualifies (Listing 1 joins the raw
-        requests table).
-        """
-        decision = ProtocolDecision()
-        ta_pos = requests.schema.resolve("ta")
-        intrata_pos = requests.schema.resolve("intrata")
-        rows = sorted(requests.rows, key=lambda r: (r[ta_pos], r[intrata_pos]))
+    @property
+    def _read_locks(self):
+        return self._evaluator._read_locks
 
-        batch_read: dict[int, set[int]] = {}
-        batch_write: dict[int, set[int]] = {}
-        for row in rows:
-            request = Request.from_row(row)
-            if not request.operation.is_data_access:
-                decision.qualified.append(request)
-                continue
-            obj, ta = request.obj, request.ta
-            holders_w = self._write_locks.get(obj, set()) | batch_write.get(
-                obj, set()
-            )
-            if request.operation is Operation.READ:
-                granted = not (holders_w - {ta})
-                reason = "write lock held"
-                batch_read.setdefault(obj, set()).add(ta)
-            else:
-                holders_r = self._read_locks.get(obj, set()) | batch_read.get(
-                    obj, set()
-                )
-                granted = not ((holders_w | holders_r) - {ta})
-                reason = "conflicting lock held"
-                batch_write.setdefault(obj, set()).add(ta)
-            if granted:
-                decision.qualified.append(request)
-            else:
-                decision.denials[request.id] = reason
+    @property
+    def _reads_of(self):
+        return self._evaluator._reads_of
 
-        decision.qualified.sort(key=lambda r: r.id)
-        return decision
+    @property
+    def _writes_of(self):
+        return self._evaluator._writes_of
+
+    @property
+    def _finished(self):
+        return self._evaluator._finished
 
 
 @register_protocol

@@ -1,43 +1,34 @@
-"""SS2PL protocol backed by sqlite3 running the paper's literal SQL."""
+"""SS2PL on sqlite3 — compatibility shim.
+
+The historical name for ``build_protocol("ss2pl-listing1", "sqlite")``:
+the paper's literal SQL executed by a real SQL engine.  The SQL text
+lives in :mod:`repro.protocols.library`; the loading/evaluation loop in
+:mod:`repro.backends.sqlitebridge`.
+"""
 
 from __future__ import annotations
 
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-)
-from repro.protocols.ss2pl import LISTING1_SQL
-from repro.relalg.table import Table
-from repro.sqlbridge.bridge import SqliteScheduler
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import LISTING1_SQL  # noqa: F401
+from repro.protocols.spec import get_spec
 
 
-class SS2PLSqlProtocol(Protocol):
-    """The paper's Listing 1 executed by a real SQL engine (sqlite3).
-
-    Each evaluation loads the pending/history snapshots into fresh
-    in-memory tables — deliberately so: this protocol exists to
-    cross-validate the relalg/Datalog backends and to serve as the SQL
-    data point in the language ablation, not to win benchmarks.  (A
-    production deployment would keep the tables resident; see
-    :class:`repro.sqlbridge.SqliteScheduler` for that mode.)
-    """
+class SS2PLSqlProtocol(SpecProtocol):
+    """The paper's Listing 1 executed by sqlite3 (cross-validation and
+    the SQL data point in the language ablation; each evaluation loads
+    fresh snapshot tables by design — see the backend docstring)."""
 
     name = "ss2pl-sql"
     description = "SS2PL via Listing 1 on sqlite3"
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-    declarative_source = LISTING1_SQL
 
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        with SqliteScheduler() as backend:
-            backend.load_rows("requests", requests.rows)
-            backend.load_rows("history", history.rows)
-            qualified = backend.qualified_requests()
-        return ProtocolDecision(qualified=qualified)
+    def __init__(self) -> None:
+        super().__init__(
+            get_spec("ss2pl-listing1"),
+            backend="sqlite",
+            name=type(self).name,
+            description=type(self).description,
+        )
 
 
 @register_protocol

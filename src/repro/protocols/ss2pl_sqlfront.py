@@ -1,34 +1,21 @@
-"""SS2PL via the paper's literal SQL — on our own engine.
+"""SS2PL via the SQL frontend — compatibility shim.
 
-Completes the language-question circle: the same Listing 1 *text* that
-:mod:`repro.sqlbridge` feeds to sqlite3 parses and executes on this
-repository's relational engine through :mod:`repro.relalg.sql`.  Where
-:class:`~repro.protocols.ss2pl.PaperListing1Protocol` is a hand
-transliteration of Listing 1 into the builder API, this protocol has no
-hand-written plan at all — SQL in, schedule out.
+The historical name for ``build_protocol("ss2pl-listing1", "sqlfront")``:
+the same Listing 1 *text* that sqlite3 runs, parsed and planned by this
+repository's own engine (no hand-written plan at all — SQL in,
+schedule out).  Text in :mod:`repro.protocols.library`; planning in
+:mod:`repro.backends.sqlfront`.
 """
 
 from __future__ import annotations
 
-from repro.model.request import Request
-from repro.protocols.base import (
-    Capabilities,
-    Protocol,
-    ProtocolDecision,
-    register_protocol,
-)
-from repro.protocols.ss2pl import LISTING1_SQL
-from repro.relalg.plan import PlanCache
-from repro.relalg.sql import SqlPlanner
-from repro.relalg.table import Table
+from repro.backends import SpecProtocol
+from repro.protocols.base import register_protocol
+from repro.protocols.library import LISTING1_SQL  # noqa: F401
+from repro.protocols.spec import get_spec
 
 
-def _plan_listing1(requests: Table, history: Table):
-    planner = SqlPlanner({"requests": requests, "history": history})
-    return planner.plan(LISTING1_SQL, defer_ctes=True)
-
-
-class SqlFrontendSS2PLProtocol(Protocol):
+class SqlFrontendSS2PLProtocol(SpecProtocol):
     """Listing 1 parsed and planned by :class:`repro.relalg.sql.SqlPlanner`.
 
     The SQL text is parsed, planned and compiled **once** per
@@ -40,30 +27,20 @@ class SqlFrontendSS2PLProtocol(Protocol):
 
     name = "ss2pl-sqlfront"
     description = "SS2PL: the paper's SQL text on our SQL frontend"
-    capabilities = Capabilities(
-        performance=True, qos=True, declarative=True, flexible=True,
-        high_scalability=True,
-    )
-    declarative_source = LISTING1_SQL
 
     def __init__(self, compiled: bool = True) -> None:
         self.compiled = compiled
-        self._plans = PlanCache(_plan_listing1)
-
-    def reset(self) -> None:
-        self._plans.clear()
-
-    def schedule(self, requests: Table, history: Table) -> ProtocolDecision:
-        if self.compiled:
-            relation = self._plans.get(requests, history).execute()
-        else:
-            planner = SqlPlanner({"requests": requests, "history": history})
-            relation = planner.execute(LISTING1_SQL)
-        qualified = sorted(
-            (Request.from_row(row) for row in relation.rows),
-            key=lambda r: r.id,
+        super().__init__(
+            get_spec("ss2pl-listing1"),
+            backend="sqlfront",
+            name=type(self).name,
+            description=type(self).description,
+            compiled=compiled,
         )
-        return ProtocolDecision(qualified=qualified)
+
+    @property
+    def _plans(self):
+        return self._evaluator.plans
 
 
 @register_protocol

@@ -486,6 +486,10 @@ class _CachedBuild:
         self.mark: tuple[int, int] = (0, 0)
         self.rebuilds = 0
         self.delta_rows_applied = 0
+        # Journaling stops (and the journal is pruned) once every
+        # registered consumer — e.g. this build, after its plan is
+        # evicted from a PlanCache — has been collected.
+        table.register_delta_consumer(self)
 
     # -- synchronization --------------------------------------------------
 

@@ -9,6 +9,7 @@ and maintain optional hash indexes used by index-nested-loop joins.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.relalg.relation import Relation
@@ -84,6 +85,10 @@ class Table:
         self._log: list[tuple[bool, tuple]] = []
         self._log_epoch = 0
         self._log_enabled = False
+        # Weak references to registered journal consumers: when the last
+        # one is collected, journaling stops and the log is pruned, so a
+        # table never accumulates deltas for plans that no longer exist.
+        self._log_consumers: list[weakref.ref] = []
         self.insert_many(rows)
 
     # -- mutation ---------------------------------------------------------
@@ -156,6 +161,30 @@ class Table:
         self._log_epoch += 1
 
     # -- delta journal ----------------------------------------------------
+
+    def register_delta_consumer(self, owner: object) -> None:
+        """Tie the journal's lifetime to *owner* (held weakly).
+
+        Journal entries are recorded while at least one registered owner
+        is alive; when the last one is garbage-collected, journaling
+        stops and the accumulated log is pruned immediately.  Consumers
+        that cannot name an owner may still call :meth:`delta_state`
+        directly, at the cost of journaling for the table's lifetime.
+        """
+        self._log_consumers.append(
+            weakref.ref(owner, self._on_consumer_collected)
+        )
+        self._log_enabled = True
+
+    def _on_consumer_collected(self, ref: weakref.ref) -> None:
+        try:
+            self._log_consumers.remove(ref)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        if not self._log_consumers:
+            self._log_enabled = False
+            self._log.clear()
+            self._log_epoch += 1
 
     def delta_state(self) -> tuple[int, int]:
         """Opaque (epoch, position) marker of the journal's current end.

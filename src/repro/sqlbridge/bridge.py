@@ -55,6 +55,10 @@ WHERE r2.ta=ss2PL.ta AND r2.intrata=ss2PL.intrata
 ORDER BY r2.id
 """
 
+#: Public name for the sqlite rendition of Listing 1 (the protocol spec
+#: layer feeds it to the sqlite backend as the ``sqlite_sql`` dialect).
+LISTING1_SQLITE = _LISTING1_SQLITE
+
 _SCHEMA = """\
 CREATE TABLE requests (
     id       INTEGER PRIMARY KEY,
@@ -124,6 +128,10 @@ class SqliteScheduler:
         self._conn.execute("DELETE FROM history")
 
     # -- the paper's scheduler step ---------------------------------------------
+
+    def execute(self, sql: str) -> list[tuple]:
+        """Run an arbitrary scheduling query over the loaded tables."""
+        return [tuple(row) for row in self._conn.execute(sql).fetchall()]
 
     def qualified_requests(self) -> list[Request]:
         """Run Listing 1; returns qualified requests in id order."""

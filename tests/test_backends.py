@@ -1,0 +1,137 @@
+"""The backend registry and the SpecProtocol adapter."""
+
+import pytest
+
+from repro.backends import (
+    BACKEND_REGISTRY,
+    BackendError,
+    SpecProtocol,
+    build_protocol,
+    resolve_backend,
+    supported_backends,
+)
+from repro.core.scheduler import DeclarativeScheduler
+from repro.protocols.base import Protocol
+from repro.protocols.spec import (
+    ProtocolSpec,
+    SPEC_REGISTRY,
+    get_spec,
+    register_spec,
+)
+
+from tests.conftest import (
+    empty_history_table,
+    empty_requests_table,
+    request,
+)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {
+            "interpreted", "compiled", "sqlfront", "sqlite",
+            "datalog", "imperative", "incremental",
+        } <= set(BACKEND_REGISTRY)
+
+    def test_resolve_by_name_and_instance(self):
+        backend = resolve_backend("compiled")
+        assert backend.name == "compiled"
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_unknown_lists_choices(self):
+        with pytest.raises(BackendError, match="valid backends"):
+            resolve_backend("postgres")
+
+    def test_factories_produce_fresh_instances(self):
+        assert resolve_backend("datalog") is not resolve_backend("datalog")
+
+
+class TestSpecProtocolAdapter:
+    def test_is_a_protocol(self):
+        assert isinstance(build_protocol("ss2pl"), Protocol)
+
+    def test_default_backend_keeps_spec_name(self):
+        assert build_protocol("ss2pl").name == "ss2pl"
+        assert build_protocol("c2pl").name == "c2pl"
+
+    def test_non_default_backend_tags_name(self):
+        assert build_protocol("ss2pl", "datalog").name == "ss2pl@datalog"
+
+    def test_unsupported_pairing_raises(self):
+        with pytest.raises(BackendError, match="cannot run spec"):
+            SpecProtocol(get_spec("c2pl"), backend="incremental")
+
+    def test_declarative_source_reflects_consumed_dialect(self):
+        # The datalog backend runs the rules; the compiled backend runs
+        # the relalg plan but reports the spec's source of record (SQL).
+        datalog = build_protocol("ss2pl-listing1", "datalog")
+        compiled = build_protocol("ss2pl-listing1", "compiled")
+        assert "denied(" in datalog.declarative_source
+        assert "WITH RLockedObjects" in compiled.declarative_source
+        assert datalog.spec_line_count() < compiled.spec_line_count()
+
+    def test_post_process_runs_on_every_backend(self):
+        # Program order: intrata 1 before intrata 0 must be gated no
+        # matter which engine qualified it.
+        for backend in supported_backends(SPEC_REGISTRY["ss2pl"]):
+            protocol = build_protocol("ss2pl", backend)
+            requests = empty_requests_table()
+            requests.insert(request(1, 1, 1, "r", 5).as_row())
+            decision = protocol.schedule(requests, empty_history_table())
+            assert decision.qualified == [], backend
+            assert 1 in decision.denials, backend
+
+    def test_scheduler_for_spec_names(self):
+        scheduler = DeclarativeScheduler.for_spec("ss2pl", "imperative")
+        scheduler.submit(request(1, 1, 0, "r", 5))
+        result = scheduler.step()
+        assert [r.id for r in result.qualified] == [1]
+        with pytest.raises(BackendError):
+            DeclarativeScheduler.for_spec("ss2pl", "bogus")
+        with pytest.raises(KeyError):
+            DeclarativeScheduler.for_spec("bogus")
+
+
+class TestCustomSpec:
+    def test_user_spec_runs_on_stock_backends(self):
+        """The extension path from DESIGN.md: registering a new spec is
+        enough for every dialect-compatible backend to run it."""
+        spec = ProtocolSpec(
+            name="writes-only-test",
+            description="qualify only writes (toy)",
+            datalog=(
+                'qualified(Id, Ta, I, "w", Obj) :- '
+                'requests(Id, Ta, I, "w", Obj).\n'
+            ),
+            default_backend="datalog",
+        )
+        register_spec(spec)
+        try:
+            assert supported_backends(spec) == ["datalog"]
+            protocol = build_protocol("writes-only-test")
+            requests = empty_requests_table()
+            requests.insert(request(1, 1, 0, "r", 5).as_row())
+            requests.insert(request(2, 2, 0, "w", 6).as_row())
+            decision = protocol.schedule(requests, empty_history_table())
+            assert [r.id for r in decision.qualified] == [2]
+        finally:
+            SPEC_REGISTRY.pop("writes-only-test", None)
+
+
+class TestListing1ShimCompat:
+    def test_explain_works_in_both_evaluation_modes(self):
+        # Regression: EXPLAIN (and ._plans) must survive compiled=False,
+        # as before the spec/backend split.
+        from repro.protocols.ss2pl import PaperListing1Protocol
+
+        requests = empty_requests_table()
+        history = empty_history_table()
+        for protocol in (
+            PaperListing1Protocol(compiled=True),
+            PaperListing1Protocol(compiled=False),
+        ):
+            plan_text = protocol.explain(requests, history)
+            assert "AntiJoin" in plan_text
+            assert len(protocol._plans) == 1
+            protocol.reset()
+            assert len(protocol._plans) == 0

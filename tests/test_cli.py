@@ -65,3 +65,68 @@ class TestExperimentCoverage:
     def test_quick_runners_produce_reports(self, experiment_id, capsys):
         assert main(["run", experiment_id, "--quick"]) == 0
         assert len(capsys.readouterr().out) > 100
+
+
+class TestRegistrySubcommands:
+    def test_protocols_lists_specs_and_backends(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for spec_name in ("ss2pl", "fcfs", "priority-ceiling", "c2pl"):
+            assert spec_name in out
+        assert "backends:" in out and "dialects:" in out
+
+    def test_backends_lists_engines(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for backend in ("compiled", "interpreted", "datalog", "sqlite",
+                        "sqlfront", "imperative", "incremental"):
+            assert backend in out
+
+
+class TestBackendSelection:
+    def test_bench_runs_named_pairing(self, capsys):
+        assert main([
+            "bench", "--protocol", "read-committed", "--backend", "datalog",
+            "--clients", "10", "--steps", "4",
+        ]) == 0
+        assert "read-committed@datalog" in capsys.readouterr().out
+
+    def test_bad_backend_names_valid_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--protocol", "ss2pl", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'bogus'" in err
+        assert "compiled" in err and "datalog" in err
+
+    def test_bad_protocol_names_valid_choices(self, capsys):
+        assert main(["bench", "--protocol", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown protocol 'bogus'" in err and "ss2pl" in err
+
+    def test_unsupported_pairing_reports_dialects(self, capsys):
+        assert main(["bench", "--protocol", "c2pl", "--backend",
+                     "compiled"]) == 2
+        assert "cannot run spec" in capsys.readouterr().err
+
+    def test_run_backend_validated(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "E13", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+        assert "valid backends" in capsys.readouterr().err
+
+    def test_demo_on_alternate_backend(self, capsys):
+        assert main(["demo", "--backend", "incremental"]) == 0
+        out = capsys.readouterr().out
+        assert "conflict serializable: True" in out
+        assert "strict:                True" in out
+
+    def test_demo_bad_protocol_names_valid_choices(self, capsys):
+        assert main(["demo", "--protocol", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown protocol 'bogus'" in err and "ss2pl" in err
+
+    def test_demo_unsupported_pairing_reports_cleanly(self, capsys):
+        assert main(["demo", "--protocol", "c2pl", "--backend",
+                     "compiled"]) == 2
+        assert "cannot run spec" in capsys.readouterr().err

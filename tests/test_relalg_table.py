@@ -95,3 +95,98 @@ class TestCatalog:
     def test_unknown_get_raises(self):
         with pytest.raises(TableError, match="unknown table"):
             Catalog().get("missing")
+
+
+class TestDeltaJournalLifetime:
+    """A table must not accumulate journal deltas for consumers that no
+    longer exist (regression: a registered-then-dropped compiled plan
+    used to leave journaling on forever)."""
+
+    def test_journal_records_while_consumer_alive(self, table):
+        class Consumer:
+            pass
+
+        consumer = Consumer()
+        table.register_delta_consumer(consumer)
+        mark = table.delta_state()
+        table.insert((4, 12, 7))
+        assert table.delta_since(*mark) == [(True, (4, 12, 7))]
+
+    def test_journal_pruned_after_consumer_dropped(self, table):
+        import gc
+
+        class Consumer:
+            pass
+
+        consumer = Consumer()
+        table.register_delta_consumer(consumer)
+        mark = table.delta_state()
+        table.insert((4, 12, 7))
+        assert table._log  # journaling active
+        del consumer
+        gc.collect()
+        assert table._log == []  # pruned immediately, not on next write
+        assert table._log_enabled is False
+        for i in range(300):
+            table.insert((100 + i, 13, 8))
+        assert table._log == []  # and never grows again
+        # The old marker span is gone: a late consumer must rebuild.
+        assert table.delta_since(*mark) is None
+
+    def test_journal_survives_while_one_of_two_consumers_lives(self, table):
+        import gc
+
+        class Consumer:
+            pass
+
+        first, second = Consumer(), Consumer()
+        table.register_delta_consumer(first)
+        table.register_delta_consumer(second)
+        table.delta_state()
+        del first
+        gc.collect()
+        table.insert((4, 12, 7))
+        assert table._log_enabled is True
+        assert table._log  # still recording for the survivor
+
+    def test_compiled_plan_is_a_registered_consumer(self):
+        """End-to-end: a PlanCache-owned plan keeps the journal alive;
+        dropping the cache and plan prunes it."""
+        import gc
+
+        from repro.relalg.expressions import col, lit
+        from repro.relalg.plan import PlanCache
+        from repro.relalg.query import Query
+
+        requests = Table(
+            "requests", ["id", "ta", "intrata", "operation", "object"]
+        )
+        history = Table(
+            "history", ["id", "ta", "intrata", "operation", "object"]
+        )
+
+        def build(requests, history):
+            finished = (
+                Query.from_(history, alias="f")
+                .where(col("f.operation") == lit("c"))
+                .select("f.ta")
+                .distinct()
+            )
+            return Query.from_(requests, alias="r").anti_join(
+                Query.from_(finished, alias="fin"),
+                on=col("r.ta") == col("fin.ta"),
+            )
+
+        cache = PlanCache(build)
+        plan = cache.get(requests, history)
+        plan.execute()
+        history.insert((1, 1, 0, "c", -1))
+        plan.execute()
+        assert history._log_consumers  # the cached build registered
+        del plan
+        cache.clear()
+        gc.collect()
+        assert history._log_consumers == []
+        assert history._log_enabled is False
+        history.insert((2, 2, 0, "c", -1))
+        assert history._log == []

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.metrics.reporting import AsciiPlot, ComparisonRow, render_comparison, render_table
+from repro.scenarios.native import native_sweep
 from repro.server.costmodel import CostModel, PAPER_CALIBRATION
-from repro.server.engine import MultiUserResult, SimulatedDBMS
 from repro.workload.spec import PAPER_WORKLOAD, WorkloadSpec
 
 #: Client counts matching Figure 2's x-axis sampling.
@@ -45,21 +45,20 @@ def sweep_native(
     seed: int = 42,
 ) -> list[Figure2Point]:
     """Run the MU sweep and SU replays; returns one point per count."""
-    dbms = SimulatedDBMS(spec, cost_model=cost_model, seed=seed)
-    points = []
-    for clients in client_counts:
-        result: MultiUserResult = dbms.run_multi_user(clients, duration)
-        points.append(
-            Figure2Point(
-                clients=clients,
-                committed_statements=result.committed_statements,
-                mu_seconds=duration,
-                su_seconds=result.su_replay_time,
-                ratio_percent=result.mu_over_su_percent,
-                deadlock_aborts=result.deadlock_aborts,
-            )
+    results = native_sweep(
+        client_counts, duration, spec=spec, cost_model=cost_model, seed=seed
+    )
+    return [
+        Figure2Point(
+            clients=clients,
+            committed_statements=result.committed_statements,
+            mu_seconds=duration,
+            su_seconds=result.su_replay_time,
+            ratio_percent=result.mu_over_su_percent,
+            deadlock_aborts=result.deadlock_aborts,
         )
-    return points
+        for clients, result in zip(client_counts, results)
+    ]
 
 
 def run_figure2(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.metrics.reporting import render_table
-from repro.server.engine import SimulatedDBMS
+from repro.scenarios.native import native_sweep
 from repro.workload.spec import PAPER_WORKLOAD
 
 
@@ -24,10 +24,11 @@ def run_mpl_ablation(
     duration: float = 240.0,
     seed: int = 42,
 ) -> str:
-    dbms = SimulatedDBMS(PAPER_WORKLOAD, seed=seed)
     rows = []
     for cap in caps:
-        result = dbms.run_multi_user(clients, duration, mpl_cap=cap)
+        [result] = native_sweep(
+            [clients], duration, spec=PAPER_WORKLOAD, seed=seed, mpl_cap=cap
+        )
         rows.append(
             (
                 "uncapped" if cap is None else str(cap),

@@ -1,6 +1,7 @@
 """E10 — SLAs and adaptive consistency under load (Section 5 directions).
 
-Two sub-benches:
+Thin report layers over the registered ``mixed-sla`` and
+``adaptive-load-step`` scenarios (:mod:`repro.scenarios`):
 
 * **SLA**: premium vs free clients under SS2PL, with and without the
   SLA ordering layer — premium mean response time must improve markedly
@@ -15,44 +16,27 @@ Two sub-benches:
 
 from __future__ import annotations
 
-from repro.core.simulation import MiddlewareSimulation
-from repro.core.triggers import HybridTrigger
 from repro.metrics.reporting import render_table
-from repro.protocols.adaptive import AdaptiveConsistencyProtocol
-from repro.protocols.relaxed import ReadCommittedProtocol
-from repro.protocols.sla import SLAOrderingProtocol
-from repro.protocols.ss2pl import SS2PLRelalgProtocol
-from repro.workload.clients import ClientPopulation, SLA_TIERS
-from repro.workload.spec import WorkloadSpec
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.library import MIDDLEWARE_WORKLOAD
 
-SLA_WORKLOAD = WorkloadSpec(reads_per_txn=4, writes_per_txn=4, table_rows=2_000)
+SLA_WORKLOAD = MIDDLEWARE_WORKLOAD
 
 
 def run_sla_bench(clients: int = 40, duration: float = 5.0, seed: int = 9) -> str:
-    population = ClientPopulation(SLA_TIERS)
-    rows = []
-    for label, protocol in (
-        ("ss2pl (no SLA layer)", SS2PLRelalgProtocol()),
-        ("sla(ss2pl)", SLAOrderingProtocol(SS2PLRelalgProtocol())),
-    ):
-        simulation = MiddlewareSimulation(
-            protocol=protocol,
-            trigger=HybridTrigger(0.02, 20),
-            spec=SLA_WORKLOAD,
-            clients=clients,
-            seed=seed,
-            attrs_for_client=population.attributes_for,
+    outcome = run_scenario(
+        get_scenario("mixed-sla"), clients=clients, duration=duration, seed=seed
+    )
+    rows = [
+        (
+            entry.cell.label,
+            entry.result.completed_statements,
+            round(entry.result.mean_response("premium") * 1000, 2),
+            round(entry.result.mean_response("free") * 1000, 2),
+            round(entry.result.mean_response() * 1000, 2),
         )
-        result = simulation.run(duration)
-        rows.append(
-            (
-                label,
-                result.completed_statements,
-                round(result.mean_response("premium") * 1000, 2),
-                round(result.mean_response("free") * 1000, 2),
-                round(result.mean_response() * 1000, 2),
-            )
-        )
+        for entry in outcome.cells
+    ]
     return render_table(
         ["scheduler", "stmts", "premium resp (ms)", "free resp (ms)",
          "overall resp (ms)"],
@@ -67,38 +51,22 @@ def run_sla_bench(clients: int = 40, duration: float = 5.0, seed: int = 9) -> st
 def run_adaptive_bench(
     clients: int = 60, duration: float = 5.0, seed: int = 11
 ) -> str:
-    def adaptive() -> AdaptiveConsistencyProtocol:
-        return AdaptiveConsistencyProtocol(
-            strict=SS2PLRelalgProtocol(),
-            relaxed=ReadCommittedProtocol(),
-            high_watermark=clients,
-            low_watermark=max(2, clients // 4),
+    outcome = run_scenario(
+        get_scenario("adaptive-load-step"),
+        clients=clients,
+        duration=duration,
+        seed=seed,
+    )
+    rows = [
+        (
+            entry.cell.label,
+            entry.result.completed_statements,
+            round(entry.result.throughput, 1),
+            entry.result.timeout_aborts,
+            round(entry.result.mean_response() * 1000, 2),
         )
-
-    rows = []
-    adaptive_protocol = adaptive()
-    for label, protocol in (
-        ("ss2pl (always strict)", SS2PLRelalgProtocol()),
-        ("read-committed (always relaxed)", ReadCommittedProtocol()),
-        ("adaptive (strict<->relaxed)", adaptive_protocol),
-    ):
-        simulation = MiddlewareSimulation(
-            protocol=protocol,
-            trigger=HybridTrigger(0.02, 30),
-            spec=SLA_WORKLOAD,
-            clients=clients,
-            seed=seed,
-        )
-        result = simulation.run(duration)
-        rows.append(
-            (
-                label,
-                result.completed_statements,
-                round(result.throughput, 1),
-                result.timeout_aborts,
-                round(result.mean_response() * 1000, 2),
-            )
-        )
+        for entry in outcome.cells
+    ]
     table = render_table(
         ["protocol", "stmts", "stmts/s", "aborts", "mean resp (ms)"],
         rows,
@@ -107,4 +75,7 @@ def run_adaptive_bench(
             "protocol should land between the pure arms"
         ),
     )
-    return table + f"\n\nadaptive protocol switched arms {adaptive_protocol.switches} time(s)"
+    adaptive = outcome.cell("adaptive (strict<->relaxed)").protocol
+    return table + (
+        f"\n\nadaptive protocol switched arms {adaptive.switches} time(s)"
+    )

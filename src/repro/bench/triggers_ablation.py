@@ -4,69 +4,65 @@ Paper Section 3.3: "The trigger condition can be configured
 (dynamically).  The best condition has to be evaluated experimentally.
 Possible conditions are, e.g. a lapse of time, a certain fill level of
 the incoming queue or a hybrid version."  This bench runs that deferred
-evaluation on the closed-loop middleware: throughput and mean response
-time per trigger policy and parameter.
+evaluation — it is now a thin report layer over the registered
+``trigger-sweep`` scenario (:mod:`repro.scenarios`): throughput, step
+counts and mean response time per trigger policy and parameter.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.simulation import MiddlewareSimulation
-from repro.core.triggers import FillLevelTrigger, HybridTrigger, TimeLapseTrigger, TriggerPolicy
 from repro.metrics.reporting import render_table
-from repro.protocols.ss2pl import SS2PLRelalgProtocol
-from repro.workload.spec import WorkloadSpec
+from repro.scenarios import (
+    ScenarioCell,
+    get_scenario,
+    run_scenario,
+    trigger_spec_of,
+)
+from repro.scenarios.library import MIDDLEWARE_WORKLOAD
 
 #: Scaled-down workload: the virtual-time middleware stack runs every
 #: scheduler query in real Python, so the ablation uses a smaller table
 #: and shorter transactions than the paper's headline experiment.
-ABLATION_WORKLOAD = WorkloadSpec(
-    reads_per_txn=4, writes_per_txn=4, table_rows=2_000
-)
-
-
-def default_triggers() -> list[TriggerPolicy]:
-    return [
-        TimeLapseTrigger(0.005),
-        TimeLapseTrigger(0.02),
-        TimeLapseTrigger(0.1),
-        FillLevelTrigger(5),
-        FillLevelTrigger(20),
-        FillLevelTrigger(60),
-        HybridTrigger(0.02, 20),
-        HybridTrigger(0.1, 60),
-    ]
+ABLATION_WORKLOAD = MIDDLEWARE_WORKLOAD
 
 
 def run_trigger_ablation(
     clients: int = 40,
     duration: float = 5.0,
-    triggers: Sequence[TriggerPolicy] | None = None,
+    triggers: Sequence | None = None,
     seed: int = 5,
 ) -> str:
-    triggers = list(triggers) if triggers is not None else default_triggers()
-    rows = []
-    for trigger in triggers:
-        simulation = MiddlewareSimulation(
-            protocol=SS2PLRelalgProtocol(),
-            trigger=trigger,
-            spec=ABLATION_WORKLOAD,
-            clients=clients,
-            seed=seed,
+    """``triggers`` accepts :class:`TriggerSpec`s or instances of the
+    three built-in policy families (they are described declaratively so
+    the scenario runner can rebuild them per cell)."""
+    scenario = get_scenario("trigger-sweep")
+    if triggers is not None:
+        cells = []
+        seen: dict[str, int] = {}
+        for trigger in triggers:
+            spec = trigger_spec_of(trigger)
+            count = seen.get(spec.label, 0)
+            seen[spec.label] = count + 1
+            label = spec.label if count == 0 else f"{spec.label} #{count + 1}"
+            cells.append(ScenarioCell(label=label, trigger=spec))
+        scenario = scenario.with_(cells=tuple(cells))
+    outcome = run_scenario(
+        scenario, clients=clients, duration=duration, seed=seed
+    )
+    rows = [
+        (
+            entry.cell.label,
+            entry.result.completed_statements,
+            round(entry.result.throughput, 1),
+            entry.result.scheduler_runs,
+            round(entry.result.mean_batch_size, 1),
+            round(entry.result.mean_response() * 1000, 2),
+            entry.result.timeout_aborts,
         )
-        result = simulation.run(duration)
-        rows.append(
-            (
-                trigger.name,
-                result.completed_statements,
-                round(result.throughput, 1),
-                result.scheduler_runs,
-                round(result.mean_batch_size, 1),
-                round(result.mean_response() * 1000, 2),
-                result.timeout_aborts,
-            )
-        )
+        for entry in outcome.cells
+    ]
     table = render_table(
         ["trigger", "stmts", "stmts/s", "runs", "mean batch",
          "mean resp (ms)", "aborts"],

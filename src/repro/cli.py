@@ -9,6 +9,11 @@ Usage::
     python -m repro run all --quick      # everything, scaled down
     python -m repro run E13 --backend sqlfront
     python -m repro bench --protocol ss2pl --backend datalog
+    python -m repro scenario list        # registered deterministic scenarios
+    python -m repro scenario run zipf-hotspot --seed 7
+    python -m repro scenario run smoke --record smoke.trace
+    python -m repro scenario replay smoke.trace
+    python -m repro scenario compare trigger-sweep matrix-sweep
     python -m repro demo                 # the quickstart scenario
     python -m repro sql "SELECT ..."     # ad-hoc SQL over demo tables
 
@@ -266,6 +271,90 @@ def _cmd_bench(
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    """The deterministic scenario subsystem (`scenario list|run|replay|compare`)."""
+    from repro.scenarios import (
+        SCENARIO_REGISTRY,
+        get_scenario,
+        record_scenario,
+        render_scenario_comparison,
+        render_scenario_report,
+        replay_scenario,
+        run_scenario,
+        scenario_names,
+    )
+
+    if args.scenario_command == "list":
+        print("registered scenarios:")
+        for name in scenario_names():
+            spec = SCENARIO_REGISTRY[name]
+            print(f"  {name:18s} {spec.description}")
+            print(
+                f"  {'':18s}   cells: {len(spec.cells)}, "
+                f"clients: {spec.clients}, duration: {spec.duration:g}s, "
+                f"seed: {spec.seed}"
+            )
+        return 0
+
+    if args.scenario_command in ("run", "compare"):
+        names = (
+            [args.name]
+            if args.scenario_command == "run"
+            else list(args.names)
+        )
+        try:
+            specs = [get_scenario(name) for name in names]
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        overrides = dict(
+            seed=args.seed, duration=args.duration, clients=args.clients
+        )
+        try:
+            if args.scenario_command == "run":
+                if args.record:
+                    outcome = record_scenario(
+                        specs[0], args.record, **overrides
+                    )
+                    print(render_scenario_report(outcome))
+                    print(f"\ntrace recorded to {args.record}")
+                else:
+                    outcome = run_scenario(specs[0], **overrides)
+                    print(render_scenario_report(outcome))
+                return 0
+            outcomes = [run_scenario(spec, **overrides) for spec in specs]
+            print(render_scenario_comparison(outcomes))
+            return 0
+        except OSError as error:
+            print(f"cannot record trace: {error}", file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(f"invalid scenario parameters: {error}", file=sys.stderr)
+            return 2
+
+    if args.scenario_command == "replay":
+        try:
+            outcome = replay_scenario(args.trace)
+        except (OSError, ValueError, KeyError) as error:
+            message = error.args[0] if error.args else str(error)
+            print(f"replay failed: {message}", file=sys.stderr)
+            return 2
+        if outcome.result is not None:
+            print(render_scenario_report(outcome.result))
+        if outcome.matches:
+            print(
+                f"\nreplay OK: {outcome.scenario} reproduced all "
+                f"{outcome.entries} recorded dispatches exactly"
+            )
+            return 0
+        print(
+            f"\nreplay MISMATCH for {outcome.scenario}: {outcome.mismatch}",
+            file=sys.stderr,
+        )
+        return 1
+    return 2  # pragma: no cover
+
+
 def _cmd_demo(protocol: str, backend: Optional[str]) -> int:
     _check_backend(backend)
     from repro import (
@@ -368,6 +457,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     bench_parser.add_argument("--clients", type=int, default=100)
     bench_parser.add_argument("--steps", type=int, default=20)
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="deterministic scenario subsystem"
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_sub.add_parser("list", help="list registered scenarios")
+
+    def _scenario_overrides(sub) -> None:
+        sub.add_argument("--seed", type=int, help="override the spec's seed")
+        sub.add_argument(
+            "--duration", type=float, help="override virtual duration (s)"
+        )
+        sub.add_argument(
+            "--clients", type=int, help="override the client count"
+        )
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run one scenario deterministically"
+    )
+    scenario_run.add_argument("name", help="registered scenario name")
+    _scenario_overrides(scenario_run)
+    scenario_run.add_argument(
+        "--record", metavar="PATH", help="record the dispatch trace to PATH"
+    )
+    scenario_replay = scenario_sub.add_parser(
+        "replay", help="re-run a recorded trace and verify it reproduces"
+    )
+    scenario_replay.add_argument("trace", help="trace file from `scenario run --record`")
+    scenario_compare = scenario_sub.add_parser(
+        "compare", help="run several scenarios and compare their cells"
+    )
+    scenario_compare.add_argument("names", nargs="+", help="scenario names")
+    _scenario_overrides(scenario_compare)
+
     demo_parser = subparsers.add_parser(
         "demo", help="run the quickstart scenario"
     )
@@ -391,6 +515,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args.ids, args.quick, args.backend)
     if args.command == "bench":
         return _cmd_bench(args.protocol, args.backend, args.clients, args.steps)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "demo":
         return _cmd_demo(args.protocol, args.backend)
     if args.command == "sql":

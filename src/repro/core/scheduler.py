@@ -141,13 +141,16 @@ class DeclarativeScheduler:
         """Evaluate the trigger condition."""
         if len(self.incoming) == 0 and len(self.pending) == 0:
             return False
-        if len(self.incoming) == 0:
+        if self.trigger.should_fire(self.incoming, now):
+            return True
+        if len(self.pending) > 0:
             # Blocked requests sit in pending; a step can still free them
-            # once history changed, so time-based triggers may fire.
-            return self.trigger.should_fire(self.incoming, now) or len(
-                self.pending
-            ) > 0
-        return self.trigger.should_fire(self.incoming, now)
+            # once history changes, but the re-check is paced by the
+            # trigger's own clock (``next_check``), not unconditional —
+            # purely fill-driven triggers stay enqueue-driven.
+            next_check = self.trigger.next_check(now)
+            return next_check is not None and now >= next_check
+        return False
 
     # -- the scheduler step -------------------------------------------------------
 

@@ -111,6 +111,7 @@ class MiddlewareSimulation:
         attrs_for_client=None,
         scheduler_config: SchedulerConfig = SchedulerConfig(),
         record_trace: bool = False,
+        start_delay_for_client=None,
     ) -> None:
         if clients <= 0:
             raise ValueError("clients must be positive")
@@ -125,6 +126,9 @@ class MiddlewareSimulation:
         self.attrs_for_client = attrs_for_client
         self.scheduler_config = scheduler_config
         self.record_trace = record_trace
+        #: Optional ``client_index -> virtual start time`` map for open
+        #: arrival patterns (bursty waves, ramp-ups); default all at 0.
+        self.start_delay_for_client = start_delay_for_client
 
     def run(self, duration: float) -> MiddlewareResult:
         sim = Simulator()
@@ -260,10 +264,20 @@ class MiddlewareSimulation:
                 else:
                     # No progress: the blocked requests need a commit that
                     # is still in flight (its batch completion will re-arm
-                    # us) — but re-check on a timeout slice regardless so
-                    # deadlocked transactions eventually get aborted.
-                    delay = max(self.deadlock_timeout / 4, 1e-4)
-                    schedule_step_at(sim.now + delay)
+                    # us).  Time-based triggers pace the re-check on their
+                    # own ``next_check`` schedule — that is what makes the
+                    # E7 trigger ablation differentiate policies — capped
+                    # at one deadlock timeout so deadlocked transactions
+                    # still get aborted; enqueue-driven triggers fall back
+                    # to the timeout slice.
+                    next_check = self.trigger.next_check(sim.now)
+                    if next_check is not None and next_check > sim.now:
+                        schedule_step_at(
+                            min(next_check, sim.now + self.deadlock_timeout)
+                        )
+                    else:
+                        delay = max(self.deadlock_timeout / 4, 1e-4)
+                        schedule_step_at(sim.now + delay)
 
         def request_done(request: Request) -> None:
             started = submit_times.pop(request.id, None)
@@ -334,6 +348,14 @@ class MiddlewareSimulation:
                 )
 
         for client in clients:
-            begin_transaction(client)
+            delay = (
+                float(self.start_delay_for_client(client.index))
+                if self.start_delay_for_client is not None
+                else 0.0
+            )
+            if delay > 0.0:
+                sim.schedule(delay, lambda c=client: begin_transaction(c))
+            else:
+                begin_transaction(client)
         sim.run_until(end)
         return result

@@ -43,7 +43,7 @@ class Summary:
         return (
             f"n={self.count} mean={self.mean:.6g} sd={self.stdev:.3g} "
             f"min={self.minimum:.6g} p50={self.p50:.6g} p95={self.p95:.6g} "
-            f"max={self.maximum:.6g}"
+            f"p99={self.p99:.6g} max={self.maximum:.6g}"
         )
 
 
@@ -53,7 +53,10 @@ def summarize(samples: Sequence[float]) -> Summary:
         raise ValueError("cannot summarize an empty sample set")
     n = len(samples)
     mean = sum(samples) / n
-    variance = sum((x - mean) ** 2 for x in samples) / n if n > 1 else 0.0
+    # Sample (Bessel-corrected) variance; a single observation has none.
+    variance = (
+        sum((x - mean) ** 2 for x in samples) / (n - 1) if n > 1 else 0.0
+    )
     return Summary(
         count=n,
         mean=mean,

@@ -1,0 +1,56 @@
+"""Deterministic scenario subsystem.
+
+One declarative :class:`~repro.scenarios.spec.ScenarioSpec` registry +
+one closed-loop runner + deterministic reports + trace record/replay.
+Importing this package registers the built-in scenario library; the CLI
+exposes it as ``repro scenario list|run|replay|compare``.
+"""
+
+from repro.scenarios.spec import (
+    SCENARIO_REGISTRY,
+    ScenarioCell,
+    ScenarioSpec,
+    TriggerSpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    trigger_spec_of,
+)
+from repro.scenarios.runner import (
+    CellResult,
+    ReplayOutcome,
+    ScenarioResult,
+    build_cell_protocol,
+    record_scenario,
+    replay_scenario,
+    run_scenario,
+)
+from repro.scenarios.report import (
+    render_scenario_comparison,
+    render_scenario_report,
+)
+from repro.scenarios.native import native_sweep
+
+# Importing the library registers the built-in scenarios.
+from repro.scenarios import library as _library  # noqa: F401
+
+__all__ = [
+    "SCENARIO_REGISTRY",
+    "ScenarioCell",
+    "ScenarioSpec",
+    "TriggerSpec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "trigger_spec_of",
+    "CellResult",
+    "ReplayOutcome",
+    "ScenarioResult",
+    "build_cell_protocol",
+    "record_scenario",
+    "replay_scenario",
+    "run_scenario",
+    "render_scenario_comparison",
+    "render_scenario_report",
+    "native_sweep",
+]

@@ -1,0 +1,229 @@
+"""The registered scenario library.
+
+Importing this module populates :data:`~repro.scenarios.spec.SCENARIO_REGISTRY`
+with the built-in scenarios: the paper-shaped baseline, the hot-spot /
+bursty / mixed-SLA workloads the harness makes cheap, the E7 trigger
+sweep, a protocol × backend × trigger matrix, and the adaptive
+load-step.  Everything runs on the scaled-down middleware workload
+(virtual-time simulation executes every scheduler query in real
+Python, so the registered specs use small tables and short
+transactions; the CLI's ``--clients``/``--duration`` flags scale any
+of them up).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import (
+    ScenarioCell,
+    ScenarioSpec,
+    TriggerSpec,
+    register_scenario,
+)
+from repro.workload.spec import WorkloadSpec
+
+#: Scaled-down middleware workload shared by most scenarios (the same
+#: shape the E7/E10 benches always used).
+MIDDLEWARE_WORKLOAD = WorkloadSpec(
+    reads_per_txn=4, writes_per_txn=4, table_rows=2_000
+)
+
+_HYBRID = TriggerSpec("hybrid", interval=0.02, threshold=20)
+
+
+SMOKE = register_scenario(
+    ScenarioSpec(
+        name="smoke",
+        description="tiny deterministic run for CI and replay round-trips",
+        workload=WorkloadSpec(reads_per_txn=2, writes_per_txn=2, table_rows=500),
+        cells=(ScenarioCell(label="ss2pl", trigger=_HYBRID),),
+        clients=8,
+        duration=0.6,
+        seed=1,
+    )
+)
+
+PAPER_BASELINE = register_scenario(
+    ScenarioSpec(
+        name="paper-baseline",
+        description="uniform paper-shaped workload under SS2PL, hybrid trigger",
+        workload=MIDDLEWARE_WORKLOAD,
+        cells=(ScenarioCell(label="ss2pl", trigger=_HYBRID),),
+        clients=40,
+        duration=5.0,
+        seed=42,
+    )
+)
+
+ZIPF_HOTSPOT = register_scenario(
+    ScenarioSpec(
+        name="zipf-hotspot",
+        description="Zipf(0.9) hot rows: contention concentrates on few objects",
+        workload=WorkloadSpec(
+            reads_per_txn=4,
+            writes_per_txn=4,
+            table_rows=2_000,
+            zipf_theta=0.9,
+        ),
+        cells=(
+            ScenarioCell(label="ss2pl", trigger=_HYBRID),
+            ScenarioCell(
+                label="read-committed",
+                protocol="read-committed",
+                trigger=_HYBRID,
+            ),
+        ),
+        clients=30,
+        duration=4.0,
+        seed=17,
+    )
+)
+
+BURSTY_ARRIVALS = register_scenario(
+    ScenarioSpec(
+        name="bursty-arrivals",
+        description="clients join in waves of 10 every 0.5s (open arrivals)",
+        workload=MIDDLEWARE_WORKLOAD,
+        cells=(
+            ScenarioCell(label="hybrid", trigger=_HYBRID),
+            ScenarioCell(
+                label="fill(20)", trigger=TriggerSpec("fill", threshold=20)
+            ),
+        ),
+        clients=40,
+        duration=5.0,
+        seed=23,
+        burst_size=10,
+        burst_gap=0.5,
+    )
+)
+
+MIXED_SLA = register_scenario(
+    ScenarioSpec(
+        name="mixed-sla",
+        description="premium vs free tiers, with and without the SLA layer",
+        workload=MIDDLEWARE_WORKLOAD,
+        cells=(
+            ScenarioCell(label="ss2pl (no SLA layer)", trigger=_HYBRID),
+            ScenarioCell(
+                label="sla(ss2pl)",
+                protocol="sla:ss2pl-listing1",
+                trigger=_HYBRID,
+            ),
+        ),
+        clients=40,
+        duration=5.0,
+        seed=9,
+        population="sla-tiers",
+    )
+)
+
+TRIGGER_SWEEP = register_scenario(
+    ScenarioSpec(
+        name="trigger-sweep",
+        description="E7: time vs fill vs hybrid trigger policies (Section 3.3)",
+        workload=MIDDLEWARE_WORKLOAD,
+        cells=(
+            ScenarioCell(
+                label="time(0.005s)", trigger=TriggerSpec("time", interval=0.005)
+            ),
+            ScenarioCell(
+                label="time(0.02s)", trigger=TriggerSpec("time", interval=0.02)
+            ),
+            ScenarioCell(
+                label="time(0.1s)", trigger=TriggerSpec("time", interval=0.1)
+            ),
+            ScenarioCell(
+                label="fill(5)", trigger=TriggerSpec("fill", threshold=5)
+            ),
+            ScenarioCell(
+                label="fill(20)", trigger=TriggerSpec("fill", threshold=20)
+            ),
+            ScenarioCell(
+                label="fill(60)", trigger=TriggerSpec("fill", threshold=60)
+            ),
+            ScenarioCell(
+                label="hybrid(0.02s|20)",
+                trigger=TriggerSpec("hybrid", interval=0.02, threshold=20),
+            ),
+            ScenarioCell(
+                label="hybrid(0.1s|60)",
+                trigger=TriggerSpec("hybrid", interval=0.1, threshold=60),
+            ),
+        ),
+        clients=40,
+        duration=5.0,
+        seed=5,
+    )
+)
+
+MATRIX_SWEEP = register_scenario(
+    ScenarioSpec(
+        name="matrix-sweep",
+        description="protocol × backend × trigger sweep on one workload",
+        workload=MIDDLEWARE_WORKLOAD,
+        cells=(
+            ScenarioCell(
+                label="ss2pl/compiled/hybrid",
+                backend="compiled",
+                trigger=_HYBRID,
+            ),
+            ScenarioCell(
+                label="ss2pl/interpreted/hybrid",
+                backend="interpreted",
+                trigger=_HYBRID,
+            ),
+            ScenarioCell(
+                label="ss2pl/incremental/hybrid",
+                backend="incremental",
+                trigger=_HYBRID,
+            ),
+            ScenarioCell(
+                label="ss2pl/compiled/fill(20)",
+                backend="compiled",
+                trigger=TriggerSpec("fill", threshold=20),
+            ),
+            ScenarioCell(
+                label="fcfs/compiled/hybrid",
+                protocol="fcfs",
+                backend="compiled",
+                trigger=_HYBRID,
+            ),
+            ScenarioCell(
+                label="read-committed/compiled/hybrid",
+                protocol="read-committed",
+                backend="compiled",
+                trigger=_HYBRID,
+            ),
+        ),
+        clients=25,
+        duration=3.0,
+        seed=3,
+    )
+)
+
+ADAPTIVE_LOAD_STEP = register_scenario(
+    ScenarioSpec(
+        name="adaptive-load-step",
+        description="strict vs relaxed vs load-adaptive consistency arms",
+        workload=MIDDLEWARE_WORKLOAD,
+        cells=(
+            ScenarioCell(
+                label="ss2pl (always strict)",
+                trigger=TriggerSpec("hybrid", interval=0.02, threshold=30),
+            ),
+            ScenarioCell(
+                label="read-committed (always relaxed)",
+                protocol="read-committed",
+                trigger=TriggerSpec("hybrid", interval=0.02, threshold=30),
+            ),
+            ScenarioCell(
+                label="adaptive (strict<->relaxed)",
+                protocol="adaptive:ss2pl-listing1,read-committed",
+                trigger=TriggerSpec("hybrid", interval=0.02, threshold=30),
+            ),
+        ),
+        clients=60,
+        duration=5.0,
+        seed=11,
+    )
+)

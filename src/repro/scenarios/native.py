@@ -1,0 +1,30 @@
+"""Shared native-server sweep used by the E3/E6/E12 report layers.
+
+The Figure 2, crossover and MPL-ablation benches all drive the
+*native* simulated DBMS (its internal scheduler, not the declarative
+middleware) over a client sweep; this module holds the one sweep loop
+so those bench modules stay thin spec + report layers, mirroring what
+:mod:`repro.scenarios.runner` does for the closed-loop middleware
+scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.server.costmodel import CostModel, PAPER_CALIBRATION
+from repro.server.engine import MultiUserResult, SimulatedDBMS
+from repro.workload.spec import PAPER_WORKLOAD, WorkloadSpec
+
+
+def native_sweep(
+    client_counts: Sequence[int],
+    duration: float = 240.0,
+    spec: WorkloadSpec = PAPER_WORKLOAD,
+    cost_model: CostModel = PAPER_CALIBRATION,
+    seed: int = 42,
+    mpl_cap: Optional[int] = None,
+) -> list[MultiUserResult]:
+    """One :class:`MultiUserResult` per client count, in input order."""
+    dbms = SimulatedDBMS(spec, cost_model=cost_model, seed=seed)
+    return dbms.sweep(client_counts, duration, mpl_cap=mpl_cap)

@@ -1,0 +1,239 @@
+"""The one closed-loop scenario runner.
+
+Every registered scenario runs through the same wiring — workload
+generator → incoming queue → trigger → declarative scheduler →
+simulated batch server → metrics — under the virtual clock, so two
+invocations with the same spec and seed produce bit-identical results
+(and bit-identical trace files when recording).
+
+The bench modules that used to duplicate this setup (`triggers_ablation`,
+`sla_adaptive`, …) are now thin spec + report layers over
+:func:`run_scenario`; record/replay lives here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.backends import build_protocol
+from repro.core.scheduler import SchedulerConfig, SchedulerCostModel
+from repro.core.simulation import MiddlewareResult, MiddlewareSimulation
+from repro.protocols.adaptive import AdaptiveConsistencyProtocol
+from repro.protocols.base import Protocol
+from repro.protocols.sla import SLAOrderingProtocol
+from repro.scenarios.spec import ScenarioCell, ScenarioSpec, get_scenario
+from repro.server.costmodel import CostModel, PAPER_CALIBRATION
+from repro.workload.clients import ClientPopulation, SLA_TIERS
+from repro.workload.traces import (
+    canonical_entries,
+    read_trace_file,
+    write_trace_file,
+)
+
+
+@dataclass
+class CellResult:
+    """One cell's outcome: the built protocol plus its middleware run."""
+
+    cell: ScenarioCell
+    protocol: Protocol
+    result: MiddlewareResult
+
+
+@dataclass
+class ScenarioResult:
+    """All cell results of one scenario run."""
+
+    spec: ScenarioSpec
+    seed: int
+    duration: float
+    clients: int
+    cells: list[CellResult] = field(default_factory=list)
+
+    def cell(self, label: str) -> CellResult:
+        for entry in self.cells:
+            if entry.cell.label == label:
+                return entry
+        raise KeyError(f"no cell labelled {label!r} in {self.spec.name}")
+
+    def traces(self) -> list[tuple[str, "object"]]:
+        return [
+            (entry.cell.label, entry.result.trace)
+            for entry in self.cells
+            if entry.result.trace is not None
+        ]
+
+
+def build_cell_protocol(cell: ScenarioCell, clients: int) -> Protocol:
+    """Resolve a cell's protocol string into a live Protocol object."""
+    name = cell.protocol
+    if name.startswith("sla:"):
+        return SLAOrderingProtocol(build_protocol(name[4:], cell.backend))
+    if name.startswith("adaptive:"):
+        strict_name, _, relaxed_name = name[len("adaptive:"):].partition(",")
+        if not relaxed_name:
+            raise ValueError(
+                "adaptive protocol needs 'adaptive:<strict>,<relaxed>', "
+                f"got {name!r}"
+            )
+        return AdaptiveConsistencyProtocol(
+            strict=build_protocol(strict_name, cell.backend),
+            relaxed=build_protocol(relaxed_name, cell.backend),
+            high_watermark=max(2, clients),
+            low_watermark=max(1, clients // 4),
+        )
+    return build_protocol(name, cell.backend)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    seed: Optional[int] = None,
+    duration: Optional[float] = None,
+    clients: Optional[int] = None,
+    record: bool = False,
+    cost_model: CostModel = PAPER_CALIBRATION,
+    scheduler_cost: SchedulerCostModel = SchedulerCostModel(),
+) -> ScenarioResult:
+    """Run every cell of *spec* under the virtual clock.
+
+    ``seed``/``duration``/``clients`` override the spec's defaults (the
+    CLI flags); all cells share them, so sweep cells see the identical
+    workload draw.
+    """
+    seed = spec.seed if seed is None else seed
+    duration = spec.duration if duration is None else duration
+    clients = spec.clients if clients is None else clients
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if clients <= 0:
+        raise ValueError("clients must be positive")
+
+    attrs_for_client = None
+    if spec.population == "sla-tiers":
+        attrs_for_client = ClientPopulation(SLA_TIERS).attributes_for
+    start_delay = (
+        spec.start_delay if spec.burst_size is not None else None
+    )
+
+    outcome = ScenarioResult(
+        spec=spec, seed=seed, duration=duration, clients=clients
+    )
+    for cell in spec.cells:
+        protocol = build_cell_protocol(cell, clients)
+        simulation = MiddlewareSimulation(
+            protocol=protocol,
+            trigger=cell.trigger.build(),
+            spec=spec.workload,
+            clients=clients,
+            seed=seed,
+            cost_model=cost_model,
+            scheduler_cost=scheduler_cost,
+            deadlock_timeout=spec.deadlock_timeout,
+            attrs_for_client=attrs_for_client,
+            scheduler_config=SchedulerConfig(max_batch=cell.max_batch),
+            record_trace=record,
+            start_delay_for_client=start_delay,
+        )
+        outcome.cells.append(
+            CellResult(cell=cell, protocol=protocol, result=simulation.run(duration))
+        )
+    return outcome
+
+
+# -- record / replay -------------------------------------------------------
+
+
+def record_scenario(
+    spec: ScenarioSpec,
+    path,
+    *,
+    seed: Optional[int] = None,
+    duration: Optional[float] = None,
+    clients: Optional[int] = None,
+) -> ScenarioResult:
+    """Run with trace recording on and persist the dispatch log plus the
+    header needed to re-run it (:func:`replay_scenario`)."""
+    outcome = run_scenario(
+        spec, seed=seed, duration=duration, clients=clients, record=True
+    )
+    write_trace_file(
+        path,
+        outcome.traces(),
+        header={
+            "scenario": spec.name,
+            "seed": outcome.seed,
+            "duration": outcome.duration,
+            "clients": outcome.clients,
+        },
+    )
+    return outcome
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of re-running a recorded scenario against its trace."""
+
+    scenario: str
+    matches: bool
+    entries: int
+    mismatch: str = ""
+    result: Optional[ScenarioResult] = None
+
+
+def replay_scenario(path) -> ReplayOutcome:
+    """Re-run the scenario named in a trace file's header (same seed,
+    duration and client count) and compare the produced dispatch log
+    entry-by-entry against the recorded one."""
+    header, recorded = read_trace_file(path)
+    name = header.get("scenario")
+    if not name:
+        raise ValueError(f"trace {path} has no scenario in its header")
+    spec = get_scenario(name)
+    outcome = run_scenario(
+        spec,
+        seed=int(header["seed"]),
+        duration=float(header["duration"]),
+        clients=int(header["clients"]),
+        record=True,
+    )
+    produced = {label: trace for label, trace in outcome.traces()}
+    recorded_map = {label: trace for label, trace in recorded}
+    entries = sum(len(trace) for trace in recorded_map.values())
+
+    produced_labels = [
+        entry.cell.label
+        for entry in outcome.cells
+        if len(entry.result.trace or ()) > 0
+    ]
+    if sorted(recorded_map) != sorted(produced_labels):
+        return ReplayOutcome(
+            scenario=name,
+            matches=False,
+            entries=entries,
+            mismatch=(
+                f"cell labels differ: recorded {sorted(recorded_map)}, "
+                f"produced {sorted(produced_labels)}"
+            ),
+            result=outcome,
+        )
+    for label, trace in recorded_map.items():
+        want = canonical_entries(trace)
+        got = canonical_entries(produced[label])
+        if want != got:
+            detail = f"{len(want)} vs {len(got)} entries"
+            for index, (a, b) in enumerate(zip(want, got)):
+                if a != b:
+                    detail = f"first divergence at entry {index}: {a} != {b}"
+                    break
+            return ReplayOutcome(
+                scenario=name,
+                matches=False,
+                entries=entries,
+                mismatch=f"cell {label!r}: {detail}",
+                result=outcome,
+            )
+    return ReplayOutcome(
+        scenario=name, matches=True, entries=entries, result=outcome
+    )

@@ -276,9 +276,17 @@ class SimulatedDBMS:
 
     # -- sweep convenience -------------------------------------------------------
 
-    def sweep(self, client_counts, duration: float) -> list[MultiUserResult]:
-        """Figure 2's x-axis sweep."""
-        return [self.run_multi_user(n, duration) for n in client_counts]
+    def sweep(
+        self,
+        client_counts,
+        duration: float,
+        mpl_cap: Optional[int] = None,
+    ) -> list[MultiUserResult]:
+        """Figure 2's x-axis sweep (optionally MPL-capped, E12)."""
+        return [
+            self.run_multi_user(n, duration, mpl_cap=mpl_cap)
+            for n in client_counts
+        ]
 
 
 def single_user_replay_time(

@@ -81,8 +81,8 @@ class Simulator:
         return True
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> float:
-        """Run events with time <= *end_time*; clock lands on
-        min(end_time, last event time).  Returns the final clock value."""
+        """Run events with time <= *end_time*; the clock then lands on
+        the horizon *end_time* itself.  Returns the final clock value."""
         processed = 0
         while True:
             next_time = self.queue.peek_time()
@@ -92,10 +92,7 @@ class Simulator:
                 break
             self.step()
             processed += 1
-        if self.now < end_time and self.queue.peek_time() is None:
-            # Idle until the horizon — conventionally advance the clock.
-            self.clock.advance_to(end_time)
-        elif self.now < end_time:
+        if self.now < end_time:
             self.clock.advance_to(end_time)
         return self.now
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import math
 import random
@@ -38,13 +39,16 @@ class _ZipfSampler:
         for weight in weights:
             acc += weight / total
             cumulative.append(acc)
+        # Float accumulation can leave the last entry slightly below 1.0,
+        # in which case a draw above it would bisect past the end and
+        # become an invalid object id; pin the upper bound exactly.
+        cumulative[-1] = 1.0
         self._cumulative = cumulative
 
     def sample(self) -> int:
-        import bisect
-
         u = self._rng.random()
-        return bisect.bisect_left(self._cumulative, u)
+        index = bisect.bisect_left(self._cumulative, u)
+        return min(index, len(self._cumulative) - 1)
 
 
 class TransactionFactory:

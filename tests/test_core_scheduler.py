@@ -8,7 +8,7 @@ from repro.core.scheduler import (
     SchedulerConfig,
     SchedulerCostModel,
 )
-from repro.core.triggers import FillLevelTrigger
+from repro.core.triggers import FillLevelTrigger, HybridTrigger, TimeLapseTrigger
 from repro.metrics.collector import MetricsCollector
 from repro.model.request import make_transaction
 from repro.model.schedule import Schedule, is_conflict_serializable, is_strict
@@ -100,6 +100,54 @@ class TestStep:
     def test_should_run_false_when_empty(self):
         scheduler = DeclarativeScheduler(FCFSProtocol())
         assert not scheduler.should_run(100.0)
+
+
+class TestBlockedPendingPacing:
+    """Blocked-pending steps must be paced by the trigger, not fire
+    unconditionally (the E7 busy-poll bug)."""
+
+    def _blocked_scheduler(self, trigger):
+        scheduler = DeclarativeScheduler(SS2PLRelalgProtocol(), trigger=trigger)
+        # T1 holds a write lock; T2's read is blocked behind it.
+        scheduler.history.record_batch([request(1, 1, 0, "w", 5)])
+        scheduler.submit(request(2, 2, 0, "r", 5), now=0.0)
+        scheduler.step(now=1.0)  # drains into pending, dispatches nothing
+        assert len(scheduler.pending) == 1
+        assert len(scheduler.incoming) == 0
+        return scheduler
+
+    def test_time_trigger_paces_blocked_pending(self):
+        scheduler = self._blocked_scheduler(TimeLapseTrigger(1.0))
+        # The step at t=1 reset the lapse clock: no re-run before t=2.
+        assert not scheduler.should_run(1.0)
+        assert not scheduler.should_run(1.5)
+        assert scheduler.should_run(2.0)
+        scheduler.step(now=2.0)
+        assert not scheduler.should_run(2.5)
+        assert scheduler.should_run(3.0)
+
+    def test_hybrid_trigger_paces_blocked_pending(self):
+        scheduler = self._blocked_scheduler(HybridTrigger(1.0, 3))
+        assert not scheduler.should_run(1.2)
+        assert scheduler.should_run(2.0)
+
+    def test_fill_trigger_stays_enqueue_driven_when_blocked(self):
+        scheduler = self._blocked_scheduler(FillLevelTrigger(2))
+        # Nothing queued: a pure fill trigger never fires on time alone.
+        assert not scheduler.should_run(100.0)
+        scheduler.submit(request(3, 3, 0, "r", 9), now=100.0)
+        assert not scheduler.should_run(100.0)  # below threshold
+        scheduler.submit(request(4, 3, 1, "r", 10), now=100.0)
+        assert scheduler.should_run(100.0)
+
+    def test_unblocking_commit_still_reaches_pending(self):
+        scheduler = self._blocked_scheduler(TimeLapseTrigger(1.0))
+        scheduler.submit(request(3, 1, 1, "c"), now=2.0)
+        assert scheduler.should_run(2.0)
+        scheduler.step(now=2.0)  # commit executes, T1's lock released
+        assert scheduler.should_run(3.0)
+        result = scheduler.step(now=3.0)
+        assert [r.id for r in result.qualified] == [2]
 
 
 class TestRunUntilDrained:

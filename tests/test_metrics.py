@@ -44,6 +44,18 @@ class TestStats:
     def test_summary_str(self):
         assert "mean=" in str(summarize([1.0, 2.0]))
 
+    def test_summary_str_includes_p99(self):
+        rendered = str(summarize([1.0, 2.0, 3.0, 4.0]))
+        assert "p99=" in rendered and "p95=" in rendered
+
+    def test_sample_variance(self):
+        # Bessel-corrected: var([1,2,3]) = 1 (not the population 2/3).
+        assert summarize([1.0, 2.0, 3.0]).stdev == pytest.approx(1.0)
+        assert summarize([2.0, 4.0]).stdev == pytest.approx(2.0 ** 0.5)
+
+    def test_single_sample_has_zero_stdev(self):
+        assert summarize([5.0]).stdev == 0.0
+
 
 class TestCollector:
     def test_counters_and_gauges(self):

@@ -1,0 +1,296 @@
+"""The deterministic scenario subsystem: registry, runner, record/replay."""
+
+import pytest
+
+from repro.core.triggers import FillLevelTrigger, HybridTrigger, TimeLapseTrigger
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    ScenarioCell,
+    ScenarioSpec,
+    TriggerSpec,
+    get_scenario,
+    record_scenario,
+    render_scenario_comparison,
+    render_scenario_report,
+    replay_scenario,
+    run_scenario,
+    scenario_names,
+    trigger_spec_of,
+)
+from repro.workload.spec import WorkloadSpec
+from repro.workload.traces import (
+    Trace,
+    canonical_entries,
+    read_trace_file,
+    write_trace_file,
+)
+
+QUICK = dict(duration=0.5, clients=8)
+
+
+class TestTriggerSpec:
+    def test_builds_each_kind(self):
+        assert isinstance(TriggerSpec("time", interval=0.1).build(), TimeLapseTrigger)
+        assert isinstance(TriggerSpec("fill", threshold=5).build(), FillLevelTrigger)
+        assert isinstance(
+            TriggerSpec("hybrid", interval=0.1, threshold=5).build(), HybridTrigger
+        )
+
+    def test_label_matches_policy_name(self):
+        spec = TriggerSpec("hybrid", interval=0.02, threshold=20)
+        assert spec.label == "hybrid(0.02s|20)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TriggerSpec("nope")
+        with pytest.raises(ValueError):
+            TriggerSpec("time")
+        with pytest.raises(ValueError):
+            TriggerSpec("hybrid", interval=0.1)
+
+    def test_round_trip_from_policy(self):
+        for policy in (
+            TimeLapseTrigger(0.05),
+            FillLevelTrigger(7),
+            HybridTrigger(0.1, 3),
+        ):
+            assert trigger_spec_of(policy).label == policy.name
+        spec = TriggerSpec("fill", threshold=2)
+        assert trigger_spec_of(spec) is spec
+        with pytest.raises(TypeError):
+            trigger_spec_of(object())
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios_registered(self):
+        assert len(SCENARIO_REGISTRY) >= 6
+
+    def test_required_scenarios_present(self):
+        names = scenario_names()
+        for required in (
+            "smoke",
+            "zipf-hotspot",
+            "bursty-arrivals",
+            "mixed-sla",
+            "trigger-sweep",
+            "matrix-sweep",
+        ):
+            assert required in names
+
+    def test_unknown_scenario_names_choices(self):
+        with pytest.raises(KeyError, match="registered:"):
+            get_scenario("does-not-exist")
+
+    def test_spec_validation(self):
+        workload = WorkloadSpec(reads_per_txn=1, writes_per_txn=1, table_rows=10)
+        cell = ScenarioCell(label="a")
+        with pytest.raises(ValueError, match="at least one cell"):
+            ScenarioSpec("x", "d", workload, cells=())
+        with pytest.raises(ValueError, match="duplicate cell labels"):
+            ScenarioSpec("x", "d", workload, cells=(cell, cell))
+        with pytest.raises(ValueError, match="population"):
+            ScenarioSpec("x", "d", workload, cells=(cell,), population="vip")
+        with pytest.raises(ValueError, match="burst"):
+            ScenarioSpec("x", "d", workload, cells=(cell,), burst_size=3)
+
+    def test_burst_start_delays(self):
+        spec = get_scenario("bursty-arrivals")
+        assert spec.start_delay(0) == 0.0
+        assert spec.start_delay(9) == 0.0
+        assert spec.start_delay(10) == pytest.approx(0.5)
+        assert spec.start_delay(25) == pytest.approx(1.0)
+
+
+class TestRunner:
+    def test_reports_are_byte_identical_across_invocations(self):
+        spec = get_scenario("smoke")
+        first = render_scenario_report(run_scenario(spec, **QUICK))
+        second = render_scenario_report(run_scenario(spec, **QUICK))
+        assert first == second
+
+    def test_seed_changes_the_run(self):
+        spec = get_scenario("smoke")
+        base = run_scenario(spec, seed=1, **QUICK)
+        other = run_scenario(spec, seed=2, **QUICK)
+        assert (
+            canonical_entries_of(base) != canonical_entries_of(other)
+        )
+
+    def test_sla_population_produces_tiers(self):
+        outcome = run_scenario(get_scenario("mixed-sla"), **QUICK)
+        tiers = set()
+        for entry in outcome.cells:
+            tiers.update(entry.result.response_times)
+        assert {"premium", "free"} <= tiers
+        assert "per-tier response times" in render_scenario_report(outcome)
+
+    def test_trigger_sweep_differentiates_step_counts(self):
+        outcome = run_scenario(
+            get_scenario("trigger-sweep"), duration=1.0, clients=16
+        )
+        runs = {
+            entry.cell.label: entry.result.scheduler_runs
+            for entry in outcome.cells
+        }
+        # The pre-fix scheduler busy-polled blocked pending sets, making
+        # every policy step at the same watchdog pace; post-fix the
+        # policies must disagree widely.
+        assert len(set(runs.values())) >= 4
+        assert runs["time(0.005s)"] > 2 * runs["time(0.1s)"]
+
+    def test_bursty_arrivals_ramp_load(self):
+        outcome = run_scenario(get_scenario("bursty-arrivals"), duration=1.2)
+        hybrid = outcome.cell("hybrid").result
+        # Only the first wave is active at t=0; all 40 clients by t=1.5.
+        assert hybrid.completed_statements > 0
+
+    def test_comparison_report_includes_all(self):
+        smoke = run_scenario(get_scenario("smoke"), **QUICK)
+        table = render_scenario_comparison([smoke, smoke])
+        assert table.count("smoke") >= 2
+
+    def test_adaptive_cell_builds_wrapper(self):
+        outcome = run_scenario(
+            get_scenario("adaptive-load-step"), duration=0.3, clients=6
+        )
+        adaptive = outcome.cell("adaptive (strict<->relaxed)").protocol
+        assert adaptive.name.startswith("adaptive(")
+
+    def test_matrix_backends_agree_on_committed_work(self):
+        outcome = run_scenario(
+            get_scenario("matrix-sweep"), duration=0.5, clients=10
+        )
+        stmts = {
+            entry.cell.label: entry.result.completed_statements
+            for entry in outcome.cells
+            if entry.cell.label.startswith("ss2pl/")
+            and entry.cell.label.endswith("/hybrid")
+        }
+        assert len(set(stmts.values())) == 1, stmts
+
+
+def canonical_entries_of(outcome) -> list:
+    """Cheap deterministic signature of a scenario run."""
+    return [
+        (
+            entry.cell.label,
+            entry.result.completed_statements,
+            tuple(entry.result.batch_sizes),
+        )
+        for entry in outcome.cells
+    ]
+
+
+class TestTraceFiles:
+    def test_write_read_round_trip(self, tmp_path):
+        from tests.conftest import request
+
+        trace = Trace()
+        trace.record(0.5, request(1, 1, 0, "r", 7))
+        trace.record(0.75, request(2, 1, 1, "c"))
+        path = tmp_path / "t.trace"
+        count = write_trace_file(path, [("cell-a", trace)], {"scenario": "x"})
+        assert count == 2
+        header, traces = read_trace_file(path)
+        assert header["scenario"] == "x"
+        [(label, loaded)] = traces
+        assert label == "cell-a"
+        assert canonical_entries(loaded) == canonical_entries(trace)
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            read_trace_file(path)
+        empty = tmp_path / "empty.trace"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace_file(empty)
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_recording(self, tmp_path):
+        path = tmp_path / "smoke.trace"
+        record_scenario(get_scenario("smoke"), path)
+        outcome = replay_scenario(path)
+        assert outcome.matches, outcome.mismatch
+        assert outcome.entries > 0
+
+    def test_recording_is_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        record_scenario(get_scenario("smoke"), a)
+        record_scenario(get_scenario("smoke"), b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_replay_detects_tampering(self, tmp_path):
+        import json
+
+        path = tmp_path / "smoke.trace"
+        record_scenario(get_scenario("smoke"), path)
+        lines = path.read_text().splitlines()
+        # Flip the first entry's object number.
+        entry = json.loads(lines[1])
+        entry["obj"] = entry["obj"] + 1 if entry["obj"] >= 0 else 0
+        lines[1] = json.dumps(entry, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        outcome = replay_scenario(path)
+        assert not outcome.matches
+        assert "divergence" in outcome.mismatch or "entries" in outcome.mismatch
+
+    def test_replay_unknown_scenario_fails_cleanly(self, tmp_path):
+        path = tmp_path / "x.trace"
+        write_trace_file(
+            path, [], {"scenario": "gone", "seed": 1, "duration": 1, "clients": 1}
+        )
+        with pytest.raises(KeyError, match="unknown scenario"):
+            replay_scenario(path)
+
+
+class TestScenarioCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "trigger-sweep" in out
+
+    def test_run_and_replay(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = str(tmp_path / "smoke.trace")
+        assert main(["scenario", "run", "smoke", "--record", path]) == 0
+        assert "trace recorded" in capsys.readouterr().out
+        assert main(["scenario", "replay", path]) == 0
+        assert "replay OK" in capsys.readouterr().out
+
+    def test_run_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_invalid_overrides_exit_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "run", "smoke", "--clients", "0"]) == 2
+        assert "invalid scenario parameters" in capsys.readouterr().err
+        assert main(["scenario", "run", "smoke", "--duration", "-5"]) == 2
+        assert "invalid scenario parameters" in capsys.readouterr().err
+
+    def test_replay_missing_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(["scenario", "replay", str(tmp_path / "none.trace")]) == 2
+        assert "replay failed" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["scenario", "compare", "smoke", "smoke",
+                 "--duration", "0.3", "--clients", "6"]
+            )
+            == 0
+        )
+        assert "scenario comparison" in capsys.readouterr().out

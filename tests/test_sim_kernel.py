@@ -83,6 +83,16 @@ class TestSimulator:
         sim.run_until(10.0)
         assert seen == ["late"]
 
+    def test_run_until_clock_lands_on_horizon(self):
+        # The clock conventionally lands on the horizon itself, whether
+        # the queue drained before it, was empty all along, or the last
+        # event fell short of it.
+        sim = Simulator()
+        assert sim.run_until(5.0) == 5.0  # empty queue
+        sim.schedule(1.0, lambda: None)
+        assert sim.run_until(8.0) == 8.0  # last event at 6.0 < horizon
+        assert sim.now == 8.0
+
     def test_events_can_schedule_events(self):
         sim = Simulator()
         seen = []

@@ -92,6 +92,36 @@ class TestTransactionFactory:
             (s.operation, s.obj) for s in b
         ]
 
+    def test_zipf_cumulative_upper_bound_is_exact(self):
+        from repro.workload.generator import _ZipfSampler
+
+        sampler = _ZipfSampler(1000, 0.7, random.Random(3))
+        assert sampler._cumulative[-1] == 1.0
+
+    def test_zipf_draw_at_one_stays_in_range(self):
+        from repro.workload.generator import _ZipfSampler
+
+        class _TopDraw(random.Random):
+            def random(self):
+                # The largest float below 1.0: without the clamp (and the
+                # pinned upper bound) bisect can land past the end and
+                # produce an invalid object id.
+                return 1.0 - 2**-53
+
+        sampler = _ZipfSampler(50, 1.1, _TopDraw())
+        for __ in range(10):
+            assert 0 <= sampler.sample() < 50
+
+    def test_zipf_samples_always_valid_objects(self):
+        spec = WorkloadSpec(
+            reads_per_txn=2, writes_per_txn=0, table_rows=17,
+            zipf_theta=0.4, distinct_objects=False,
+        )
+        factory = TransactionFactory(spec, random.Random(11))
+        for __ in range(500):
+            for stmt in factory.next_profile():
+                assert 0 <= stmt.obj < 17
+
 
 class TestRequestStream:
     SPEC = WorkloadSpec(reads_per_txn=2, writes_per_txn=1, table_rows=100)

@@ -312,15 +312,44 @@ def _cmd_scenario(args) -> int:
         )
         try:
             if args.scenario_command == "run":
-                if args.record:
-                    outcome = record_scenario(
-                        specs[0], args.record, **overrides
+                from repro.faults import InvariantViolation
+
+                try:
+                    if args.record:
+                        outcome = record_scenario(
+                            specs[0],
+                            args.record,
+                            check_invariants=args.check_invariants,
+                            **overrides,
+                        )
+                    else:
+                        outcome = run_scenario(
+                            specs[0],
+                            check_invariants=args.check_invariants,
+                            **overrides,
+                        )
+                    print(render_scenario_report(outcome))
+                    if args.check_invariants:
+                        checks = sum(
+                            entry.result.invariant_checks
+                            for entry in outcome.cells
+                        )
+                        print(
+                            f"\ninvariants OK: {checks} checks, 0 violations"
+                        )
+                    if args.record:
+                        print(f"\ntrace recorded to {args.record}")
+                except InvariantViolation as violation:
+                    print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+                    trace_path = f"{specs[0].name}.violation.trace"
+                    entries = violation.write_trace(trace_path)
+                    print(
+                        f"violation trace ({entries} dispatches) written to "
+                        f"{trace_path}; inspect or re-verify with "
+                        f"`repro scenario replay {trace_path}`",
+                        file=sys.stderr,
                     )
-                    print(render_scenario_report(outcome))
-                    print(f"\ntrace recorded to {args.record}")
-                else:
-                    outcome = run_scenario(specs[0], **overrides)
-                    print(render_scenario_report(outcome))
+                    return 1
                 return 0
             outcomes = [run_scenario(spec, **overrides) for spec in specs]
             print(render_scenario_comparison(outcomes))
@@ -481,6 +510,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _scenario_overrides(scenario_run)
     scenario_run.add_argument(
         "--record", metavar="PATH", help="record the dispatch trace to PATH"
+    )
+    scenario_run.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="assert scheduler safety invariants after every step "
+        "(exit 1 with a replayable trace on any violation)",
     )
     scenario_replay = scenario_sub.add_parser(
         "replay", help="re-run a recorded trace and verify it reproduces"

@@ -6,10 +6,25 @@ batch dispatch.  It is synchronous and time-agnostic — callers supply
 ``now`` — so the same object serves unit tests (manual stepping), the
 virtual-time middleware simulation, and wall-clock measurement of the
 declarative overhead (E5).
+
+Robustness extensions (all opt-in; a scheduler built without them
+behaves exactly as before):
+
+* ``recovery`` (:class:`~repro.faults.recovery.RecoveryPolicy`) makes
+  abort-and-retry first-class: per-transaction pending timeouts with
+  exponential backoff, and orphan reaping for crashed clients (their
+  granted-but-never-released requests are aborted after a lease).
+* ``admission`` (:class:`~repro.faults.admission.AdmissionPolicy`)
+  bounds the pending table, shedding whole transactions on overload.
+* ``fault_hook`` is called at the very top of :meth:`step` (before any
+  state changes) — the injection point for forced step exceptions.
+* ``monitor`` (:class:`~repro.faults.invariants.InvariantMonitor`)
+  observes submissions, terminal states, and every step.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -17,8 +32,11 @@ from typing import Callable, Optional
 from repro.core.queue import IncomingQueue
 from repro.core.stores import HistoryStore, PendingStore
 from repro.core.triggers import FillLevelTrigger, TriggerPolicy
+from repro.faults.admission import AdmissionPolicy
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.recovery import RecoveryPolicy
 from repro.metrics.collector import MetricsCollector
-from repro.model.request import Request
+from repro.model.request import NO_OBJECT, Operation, Request
 from repro.protocols.base import Protocol, ProtocolDecision
 
 
@@ -54,6 +72,22 @@ class SchedulerConfig:
 
 
 @dataclass
+class RecoveryActions:
+    """What the recovery/admission machinery did during one step.
+
+    Each entry pairs the affected transaction with the abort request
+    synthesized into history on its behalf (drivers record these into
+    traces and restart the owning clients)."""
+
+    timeouts: list[tuple[int, Request]] = field(default_factory=list)
+    orphans: list[tuple[int, Request]] = field(default_factory=list)
+    sheds: list[tuple[int, Request]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.timeouts or self.orphans or self.sheds)
+
+
+@dataclass
 class SchedulerStepResult:
     """Telemetry of one scheduler step."""
 
@@ -65,10 +99,41 @@ class SchedulerStepResult:
     qualified: list[Request] = field(default_factory=list)
     query_seconds: float = 0.0
     denials: dict[int, str] = field(default_factory=dict)
+    recovery: RecoveryActions = field(default_factory=RecoveryActions)
 
     @property
     def batch_size(self) -> int:
         return len(self.qualified)
+
+
+class SchedulerStalledError(RuntimeError):
+    """The scheduler can make no further progress while requests remain.
+
+    Carries a snapshot of the pending table and the protocol's
+    per-request denial reasons, so a stall is diagnosable instead of a
+    bare message: which requests are stuck, and why the protocol keeps
+    refusing each of them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pending_snapshot: list[Request],
+        denials: dict[int, str],
+        steps_run: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.pending_snapshot = pending_snapshot
+        self.denials = denials
+        self.steps_run = steps_run
+
+    def describe(self) -> str:
+        """Multi-line report: every stuck request and its denial reason."""
+        lines = [str(self), f"after {self.steps_run} steps, stuck requests:"]
+        for request in self.pending_snapshot:
+            reason = self.denials.get(request.id, "no reason attributed")
+            lines.append(f"  {request} (id={request.id}): {reason}")
+        return "\n".join(lines)
 
 
 class DeclarativeScheduler:
@@ -83,6 +148,9 @@ class DeclarativeScheduler:
         arrival makes the scheduler eligible to run).
     config, metrics:
         Optional behaviour knobs and instrumentation sink.
+    recovery, admission:
+        Optional abort/retry recovery and admission-control policies
+        (see module docstring).
     """
 
     def __init__(
@@ -91,16 +159,35 @@ class DeclarativeScheduler:
         trigger: Optional[TriggerPolicy] = None,
         config: SchedulerConfig = SchedulerConfig(),
         metrics: Optional[MetricsCollector] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.protocol = protocol
         self.trigger = trigger if trigger is not None else FillLevelTrigger(1)
         self.config = config
         self.metrics = metrics
+        self.recovery = recovery
+        self.admission = admission
         self.incoming = IncomingQueue()
         self.pending = PendingStore()
         self.history = HistoryStore()
         self.steps_run = 0
         self.total_query_seconds = 0.0
+        #: Injection point for forced step exceptions: called with the
+        #: step index before the step touches any state; may raise.
+        self.fault_hook: Optional[Callable[[int], None]] = None
+        #: Optional runtime invariant monitor.
+        self.monitor: Optional[InvariantMonitor] = None
+        # Recovery/admission bookkeeping (only maintained when a policy
+        # needs it; the fault-free fast path skips all of it).
+        self._abort_ids = itertools.count(-1, -1)
+        self._pending_since: dict[int, float] = {}
+        self._client_of_ta: dict[int, int] = {}
+        self._priority_of_ta: dict[int, int] = {}
+        self._arrival_of_ta: dict[int, float] = {}
+        self._retries_of_client: dict[int, int] = {}
+        self._crashed_clients: dict[int, float] = {}
+        self._orphaned_at: dict[int, float] = {}
 
     @classmethod
     def for_spec(
@@ -110,6 +197,8 @@ class DeclarativeScheduler:
         trigger: Optional[TriggerPolicy] = None,
         config: SchedulerConfig = SchedulerConfig(),
         metrics: Optional[MetricsCollector] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
         **backend_options,
     ) -> "DeclarativeScheduler":
         """Build a scheduler from registry names — the backend-agnostic
@@ -127,13 +216,22 @@ class DeclarativeScheduler:
             trigger=trigger,
             config=config,
             metrics=metrics,
+            recovery=recovery,
+            admission=admission,
         )
+
+    @property
+    def _tracking(self) -> bool:
+        """True when per-transaction bookkeeping must be maintained."""
+        return self.recovery is not None or self.admission is not None
 
     # -- client-facing ----------------------------------------------------------
 
     def submit(self, request: Request, now: float = 0.0) -> None:
         """Buffer one request in the incoming queue (client worker path)."""
         self.incoming.enqueue(request, now)
+        if self.monitor is not None:
+            self.monitor.note_submitted(request, now)
         if self.metrics is not None:
             self.metrics.incr("scheduler.submitted")
 
@@ -152,13 +250,59 @@ class DeclarativeScheduler:
             return next_check is not None and now >= next_check
         return False
 
+    # -- crash notifications (recovery) -----------------------------------------
+
+    def note_client_crashed(self, client_id: int, now: float) -> None:
+        """A client connection died; its active transactions become
+        orphans and are reaped once the recovery policy's lease expires.
+
+        Orphan deadlines are per-transaction (stamped here, and at drain
+        time for requests still in the incoming queue when the crash
+        hit), so a client that reconnects before the lease expires does
+        not resurrect its old transactions — and its *new* transactions
+        are never mistaken for orphans."""
+        self._crashed_clients.setdefault(client_id, now)
+        for ta, client in self._client_of_ta.items():
+            if client == client_id:
+                self._orphaned_at.setdefault(ta, now)
+
+    def note_client_recovered(self, client_id: int) -> None:
+        """The client reconnected (fresh session; its pre-crash
+        transactions stay marked as orphans — the new session cannot
+        adopt them)."""
+        self._crashed_clients.pop(client_id, None)
+        self._retries_of_client.pop(client_id, None)
+
+    def retries_of_client(self, client_id: int) -> int:
+        return self._retries_of_client.get(client_id, 0)
+
     # -- the scheduler step -------------------------------------------------------
 
     def step(self, now: float = 0.0) -> SchedulerStepResult:
         """Run one full scheduler step (Figure 1 steps 1-4 up to
         dispatch; the caller sends the returned batch to its server)."""
+        if self.fault_hook is not None:
+            # Before any state changes: an injected failure here must
+            # leave queue/stores untouched so a retried step sees the
+            # exact pre-fault state.
+            self.fault_hook(self.steps_run)
         drained_requests = self.incoming.drain()
         self.pending.insert_batch(drained_requests)
+        if self._tracking:
+            for request in drained_requests:
+                client = request.attrs.client_id
+                self._client_of_ta.setdefault(request.ta, client)
+                self._arrival_of_ta.setdefault(request.ta, now)
+                self._priority_of_ta.setdefault(request.ta, request.attrs.priority)
+                if client in self._crashed_clients:
+                    # The crash raced the incoming queue: this request
+                    # was already in flight when its client died.
+                    self._orphaned_at.setdefault(
+                        request.ta, self._crashed_clients[client]
+                    )
+        recovery_actions = RecoveryActions()
+        if self.admission is not None:
+            self._shed_overload(now, recovery_actions)
         pending_before = len(self.pending)
         history_rows = len(self.history)
 
@@ -190,14 +334,10 @@ class DeclarativeScheduler:
         self.steps_run += 1
         self.total_query_seconds += query_seconds
         self.trigger.notify_fired(now)
-        if self.metrics is not None:
-            self.metrics.incr("scheduler.steps")
-            self.metrics.incr("scheduler.qualified", len(qualified))
-            self.metrics.timer("scheduler.query").add(query_seconds)
-            self.metrics.gauge("scheduler.pending", len(self.pending))
-            self.metrics.gauge("scheduler.history", len(self.history))
 
-        return SchedulerStepResult(
+        if self._tracking:
+            self._note_progress(qualified, now)
+        result = SchedulerStepResult(
             now=now,
             drained=len(drained_requests),
             pending_before=pending_before,
@@ -206,7 +346,148 @@ class DeclarativeScheduler:
             qualified=qualified,
             query_seconds=query_seconds,
             denials=dict(decision.denials),
+            recovery=recovery_actions,
         )
+        if self.monitor is not None:
+            # Check (and record dispatches into the violation trace)
+            # before the recovery sweep, so the monitor's trace lists a
+            # step's grants before its recovery aborts — the same order
+            # drivers write their own dispatch logs in.
+            self.monitor.after_step(self, result, now)
+        if self.recovery is not None:
+            self._recover(now, recovery_actions)
+        if self.metrics is not None:
+            self.metrics.incr("scheduler.steps")
+            self.metrics.incr("scheduler.qualified", len(qualified))
+            self.metrics.timer("scheduler.query").add(query_seconds)
+            self.metrics.gauge("scheduler.pending", len(self.pending))
+            self.metrics.gauge("scheduler.history", len(self.history))
+            if recovery_actions.timeouts:
+                self.metrics.incr(
+                    "scheduler.timeout_aborts", len(recovery_actions.timeouts)
+                )
+            if recovery_actions.orphans:
+                self.metrics.incr(
+                    "scheduler.orphan_reaps", len(recovery_actions.orphans)
+                )
+            if recovery_actions.sheds:
+                self.metrics.incr(
+                    "scheduler.sheds", len(recovery_actions.sheds)
+                )
+
+        return result
+
+    # -- recovery internals ------------------------------------------------------
+
+    def _note_progress(self, qualified: list[Request], now: float) -> None:
+        """Update per-transaction timers/bookkeeping after a dispatch."""
+        for request in qualified:
+            self._pending_since.pop(request.ta, None)
+            if request.operation.is_termination:
+                client = self._client_of_ta.pop(request.ta, None)
+                self._arrival_of_ta.pop(request.ta, None)
+                self._priority_of_ta.pop(request.ta, None)
+                if request.is_commit and client is not None:
+                    # A commit ends the retry episode: the client's next
+                    # transaction starts with a fresh timeout.
+                    self._retries_of_client.pop(client, None)
+        # Arm/refresh the pending clock of every transaction that still
+        # has work sitting in the table (newly drained or just blocked
+        # again after progress).
+        if len(self.pending):
+            ta_pos = self.pending.table.schema.resolve("ta")
+            for row in self.pending.table.rows:
+                self._pending_since.setdefault(row[ta_pos], now)
+
+    def _recover(self, now: float, actions: RecoveryActions) -> None:
+        """Timeout aborts (with per-client backoff) and orphan reaping."""
+        policy = self.recovery
+        for ta, since in list(self._pending_since.items()):
+            client = self._client_of_ta.get(ta, 0)
+            timeout = policy.timeout_for(self._retries_of_client.get(client, 0))
+            if now - since > timeout:
+                abort = self.abort_transaction(ta, now, reason="timeout")
+                self._retries_of_client[client] = (
+                    self._retries_of_client.get(client, 0) + 1
+                )
+                actions.timeouts.append((ta, abort))
+        for ta, orphaned_at in list(self._orphaned_at.items()):
+            if ta not in self._client_of_ta:
+                # Finished (or already aborted) before the lease expired.
+                self._orphaned_at.pop(ta)
+                continue
+            if now - orphaned_at >= policy.orphan_lease:
+                self._orphaned_at.pop(ta)
+                abort = self.abort_transaction(ta, now, reason="orphan")
+                actions.orphans.append((ta, abort))
+
+    def _shed_overload(self, now: float, actions: RecoveryActions) -> None:
+        """Bounded pending table: shed whole transactions on overload."""
+        total_rows = len(self.pending)
+        if total_rows <= self.admission.max_pending:
+            return
+        ta_pos = self.pending.table.schema.resolve("ta")
+        rows_by_ta: dict[int, int] = {}
+        for row in self.pending.table.rows:
+            ta = row[ta_pos]
+            rows_by_ta[ta] = rows_by_ta.get(ta, 0) + 1
+        retries_of_ta = {
+            ta: self._retries_of_client.get(client, 0)
+            for ta, client in self._client_of_ta.items()
+        }
+        victims = self.admission.choose_victims(
+            rows_by_ta,
+            self._priority_of_ta,
+            retries_of_ta,
+            self._arrival_of_ta,
+            total_rows,
+        )
+        for ta in victims:
+            abort = self.abort_transaction(ta, now, reason="shed", kind="shed")
+            actions.sheds.append((ta, abort))
+
+    def abort_transaction(
+        self, ta: int, now: float = 0.0, reason: str = "abort", kind: str = "aborted"
+    ) -> Request:
+        """First-class abort: remove the transaction's pending rows and
+        synthesize an ``a`` request into history, releasing its logical
+        locks.  Returns the synthesized abort request (negative id —
+        scheduler-originated, never colliding with workload ids)."""
+        ta_pos = self.pending.table.schema.resolve("ta")
+        id_pos = self.pending.table.schema.resolve("id")
+        doomed_ids = [
+            row[id_pos]
+            for row in self.pending.table.rows
+            if row[ta_pos] == ta
+        ]
+        if doomed_ids:
+            self.pending.table.delete_where(lambda row: row[ta_pos] == ta)
+            for request_id in doomed_ids:
+                self.pending.table.attrs_by_id.pop(request_id, None)
+        abort = Request(
+            id=next(self._abort_ids),
+            ta=ta,
+            intrata=0,
+            operation=Operation.ABORT,
+            obj=NO_OBJECT,
+        )
+        self.history.record_batch([abort])
+        self.protocol.observe_executed([abort])
+        if self.config.prune_history:
+            pruned = self.history.finished_transactions
+            self.history.prune_finished()
+            if pruned:
+                self.protocol.observe_pruned(pruned)
+        self._pending_since.pop(ta, None)
+        self._client_of_ta.pop(ta, None)
+        self._arrival_of_ta.pop(ta, None)
+        self._priority_of_ta.pop(ta, None)
+        if self.monitor is not None:
+            self.monitor.note_terminal(doomed_ids, kind, now)
+            self.monitor.note_dispatch(now, abort)
+        if self.metrics is not None:
+            self.metrics.incr(f"scheduler.abort.{reason}")
+        return abort
 
     # -- convenience -----------------------------------------------------------------
 
@@ -217,9 +498,11 @@ class DeclarativeScheduler:
     ) -> list[SchedulerStepResult]:
         """Step repeatedly until no pending/incoming requests remain.
 
-        Raises RuntimeError when a step makes no progress while requests
-        remain (a protocol that permanently denies something — e.g.
-        conflicting requests whose blocker never terminates)."""
+        Raises :class:`SchedulerStalledError` when a step makes no
+        progress while requests remain (a protocol that permanently
+        denies something — e.g. conflicting requests whose blocker
+        never terminates), carrying the pending snapshot and the
+        per-request denial reasons."""
         results: list[SchedulerStepResult] = []
         for __ in range(max_steps):
             if len(self.incoming) == 0 and len(self.pending) == 0:
@@ -228,10 +511,29 @@ class DeclarativeScheduler:
             results.append(result)
             if on_batch is not None:
                 on_batch(result)
-            if result.batch_size == 0 and result.drained == 0:
-                raise RuntimeError(
+            if (
+                result.batch_size == 0
+                and result.drained == 0
+                and not result.recovery
+            ):
+                raise SchedulerStalledError(
                     f"scheduler stalled with {len(self.pending)} pending "
                     f"requests; protocol {self.protocol.name} denies: "
-                    f"{result.denials or 'unattributed'}"
+                    f"{result.denials or 'unattributed'}",
+                    pending_snapshot=self._pending_snapshot(),
+                    denials=dict(result.denials),
+                    steps_run=self.steps_run,
                 )
-        raise RuntimeError(f"not drained after {max_steps} steps")
+        raise SchedulerStalledError(
+            f"not drained after {max_steps} steps",
+            pending_snapshot=self._pending_snapshot(),
+            denials=dict(results[-1].denials) if results else {},
+            steps_run=self.steps_run,
+        )
+
+    def _pending_snapshot(self) -> list[Request]:
+        """Re-hydrated copies of every request stuck in the pending table."""
+        return [
+            self.pending.rehydrate(Request.from_row(row))
+            for row in self.pending.table.rows
+        ]

@@ -15,6 +15,23 @@ resolves it with a timeout: a transaction whose request has been
 pending longer than ``deadlock_timeout`` is aborted (an ``a`` request
 is synthesized into history, releasing its locks) and its client starts
 a fresh transaction.
+
+Robustness mode (all opt-in — a simulation built without these knobs
+runs the exact legacy event sequence):
+
+* ``faults`` (:class:`~repro.faults.spec.FaultPlan`) injects client
+  crashes/stalls, request drops, clock jumps, and forced scheduler-step
+  exceptions, all sampled deterministically from the run seed.
+* ``recovery`` (:class:`~repro.faults.recovery.RecoveryPolicy`)
+  promotes the deadlock timeout into the scheduler itself and adds
+  exponential-backoff retries (same profile, fresh transaction number)
+  with a retry budget, plus orphan reaping for crashed clients.
+* ``admission`` (:class:`~repro.faults.admission.AdmissionPolicy`)
+  bounds the pending table; shed transactions are retried like aborts.
+* ``check_invariants`` attaches an
+  :class:`~repro.faults.invariants.InvariantMonitor` that asserts the
+  scheduler's safety invariants after every step and request-lifecycle
+  totality at the end of the run.
 """
 
 from __future__ import annotations
@@ -30,6 +47,12 @@ from repro.core.scheduler import (
     SchedulerCostModel,
 )
 from repro.core.triggers import TriggerPolicy
+from repro.faults.admission import AdmissionPolicy
+from repro.faults.injector import InjectedStepFault
+from repro.faults.invariants import InvariantMonitor, lock_model_of
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.spec import FaultPlan
+from repro.metrics.collector import MetricsCollector
 from repro.model.request import (
     NO_OBJECT,
     Operation,
@@ -62,10 +85,52 @@ class MiddlewareResult:
     response_times: dict[str, list[float]] = field(default_factory=dict)
     #: Dispatched-request log (dispatch order), when recording was on.
     trace: Optional["Trace"] = None
+    # -- robustness / recovery telemetry (all zero on fault-free runs) --
+    #: Closed-loop no-progress re-arms (the scheduler ran but granted
+    #: nothing and the blocked requests forced a timed re-check).
+    stall_rearms: int = 0
+    #: Aborts caused by the deadlock/pending timeout (sim- or
+    #: scheduler-side, whichever owns timeouts for this run).
+    deadlock_timeout_aborts: int = 0
+    #: Transaction retries (same profile resubmitted under a new ta).
+    retries: int = 0
+    #: Transactions abandoned after exhausting the retry budget.
+    retry_budget_exhausted: int = 0
+    #: Transactions shed by admission control.
+    sheds: int = 0
+    #: Orphaned transactions reaped after their client crashed.
+    reaped_orphans: int = 0
+    #: Injected fault occurrences.
+    crashes: int = 0
+    stalls: int = 0
+    drops: int = 0
+    clock_jumps: int = 0
+    step_faults: int = 0
+    #: Disruption → next-commit latencies (time-to-recover samples).
+    recovery_times: list[float] = field(default_factory=list)
+    #: Statements of *committed* transactions only (work that survived).
+    goodput_statements: int = 0
+    #: Invariant checks executed (0 when monitoring was off).
+    invariant_checks: int = 0
 
     @property
     def throughput(self) -> float:
         return self.completed_statements / self.duration if self.duration else 0.0
+
+    @property
+    def goodput(self) -> float:
+        return self.goodput_statements / self.duration if self.duration else 0.0
+
+    @property
+    def aborts(self) -> int:
+        """All scheduler-synthesized aborts (timeouts + orphan reaps)."""
+        return self.deadlock_timeout_aborts + self.reaped_orphans
+
+    @property
+    def mean_recovery_time(self) -> float:
+        if not self.recovery_times:
+            return 0.0
+        return sum(self.recovery_times) / len(self.recovery_times)
 
     @property
     def mean_batch_size(self) -> float:
@@ -84,7 +149,18 @@ class MiddlewareResult:
 class _SimClient:
     """One closed-loop client: transaction iterator + outstanding state."""
 
-    __slots__ = ("index", "factory", "attrs", "ta", "statements", "position")
+    __slots__ = (
+        "index",
+        "factory",
+        "attrs",
+        "ta",
+        "statements",
+        "position",
+        "crashed",
+        "attempt",
+        "drops_in_row",
+        "epoch",
+    )
 
     def __init__(self, index: int, factory: TransactionFactory, attrs) -> None:
         self.index = index
@@ -93,6 +169,17 @@ class _SimClient:
         self.ta = -1
         self.statements = []
         self.position = 0
+        self.crashed = False
+        #: Retries of the current transaction profile (0 = first try).
+        self.attempt = 0
+        #: Consecutive drops of the current statement submission.
+        self.drops_in_row = 0
+        #: Generation counter: bumped whenever the client's submit chain
+        #: is (re)started or torn down, so deferred continuations (stall
+        #: resumes, drop backoffs, scheduled restarts) can detect they
+        #: belong to a superseded chain and die instead of running a
+        #: second concurrent chain over the shared ``position``.
+        self.epoch = 0
 
 
 class MiddlewareSimulation:
@@ -112,6 +199,11 @@ class MiddlewareSimulation:
         scheduler_config: SchedulerConfig = SchedulerConfig(),
         record_trace: bool = False,
         start_delay_for_client=None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        check_invariants: bool = False,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         if clients <= 0:
             raise ValueError("clients must be positive")
@@ -129,13 +221,33 @@ class MiddlewareSimulation:
         #: Optional ``client_index -> virtual start time`` map for open
         #: arrival patterns (bursty waves, ramp-ups); default all at 0.
         self.start_delay_for_client = start_delay_for_client
+        self.faults = faults
+        self.recovery = recovery
+        self.admission = admission
+        self.check_invariants = check_invariants
+        self.metrics = metrics
 
     def run(self, duration: float) -> MiddlewareResult:
         sim = Simulator()
         rng = random.Random(self.seed)
         scheduler = DeclarativeScheduler(
-            self.protocol, trigger=self.trigger, config=self.scheduler_config
+            self.protocol,
+            trigger=self.trigger,
+            config=self.scheduler_config,
+            recovery=self.recovery,
+            admission=self.admission,
         )
+        monitor: Optional[InvariantMonitor] = None
+        if self.check_invariants:
+            monitor = InvariantMonitor(lock_model_of(self.protocol))
+            scheduler.monitor = monitor
+        injector = (
+            self.faults.build(seed=self.seed, clients=self.clients, duration=duration)
+            if self.faults is not None
+            else None
+        )
+        if injector is not None and injector.has_step_faults:
+            scheduler.fault_hook = injector.check_step
         server = BatchServer(self.cost_model)
         result = MiddlewareResult(clients=self.clients, duration=duration)
         if self.record_trace:
@@ -145,6 +257,12 @@ class MiddlewareSimulation:
         submit_times: dict[int, float] = {}
         first_pending_since: dict[int, float] = {}  # ta -> first submit time
         client_of_ta: dict[int, _SimClient] = {}
+        #: Request ids lost in transit (accounted for in the final
+        #: lifecycle-totality check: dropped, not lost by the scheduler).
+        dropped_ids: set[int] = set()
+        #: Start of the current disruption episode (crash/abort/shed);
+        #: closed by the next commit anywhere in the system.
+        disruption_since: Optional[float] = None
         end = duration
 
         clients = []
@@ -159,16 +277,69 @@ class MiddlewareSimulation:
             )
             clients.append(_SimClient(index, factory, attrs))
 
-        def begin_transaction(client: _SimClient) -> None:
+        def note_disruption() -> None:
+            nonlocal disruption_since
+            if disruption_since is None:
+                disruption_since = sim.now
+
+        def begin_transaction(client: _SimClient, retry: bool = False) -> None:
+            if client.crashed:
+                return
+            client.epoch += 1
             client.ta = next(ta_counter)
-            client.statements = client.factory.next_profile()
+            if not retry:
+                client.statements = client.factory.next_profile()
+                client.attempt = 0
             client.position = 0
             client_of_ta[client.ta] = client
             submit_next(client)
 
-        def submit_next(client: _SimClient) -> None:
-            if sim.now >= end:
+        def resume_chain(client: _SimClient):
+            """A continuation of the client's *current* submit chain.
+
+            Captures the chain epoch: if the transaction is aborted,
+            retried, or the client restarts before the continuation
+            fires, the stale callback dies instead of racing the new
+            chain (two chains over one shared ``position`` dispatch
+            intrata out of order — a monotonicity violation).
+            """
+            epoch = client.epoch
+
+            def fire(c: _SimClient = client, e: int = epoch) -> None:
+                if c.epoch == e:
+                    submit_next(c, True)
+
+            return fire
+
+        def restart_chain(client: _SimClient):
+            """A deferred ``begin_transaction`` guarded the same way:
+            only the most recently scheduled restart may begin."""
+            epoch = client.epoch
+
+            def fire(c: _SimClient = client, e: int = epoch) -> None:
+                if c.epoch == e:
+                    begin_transaction(c)
+
+            return fire
+
+        def retry_chain(client: _SimClient):
+            epoch = client.epoch
+
+            def fire(c: _SimClient = client, e: int = epoch) -> None:
+                if c.epoch == e:
+                    begin_transaction(c, retry=True)
+
+            return fire
+
+        def submit_next(client: _SimClient, resumed: bool = False) -> None:
+            if sim.now >= end or client.crashed:
                 return
+            if injector is not None and not resumed:
+                stall = injector.stall_before_submit(client.index)
+                if stall is not None:
+                    result.stalls += 1
+                    sim.schedule(stall, resume_chain(client))
+                    return
             if client.position < len(client.statements):
                 stmt = client.statements[client.position]
                 request = Request(
@@ -188,10 +359,56 @@ class MiddlewareSimulation:
                     obj=NO_OBJECT,
                     attrs=client.attrs,
                 )
+            if injector is not None and injector.drop_request(client.index):
+                drop_submission(client, request)
+                return
+            client.drops_in_row = 0
             scheduler.submit(request, sim.now)
             submit_times[request.id] = sim.now
             first_pending_since.setdefault(client.ta, sim.now)
             arm_trigger()
+
+        def drop_submission(client: _SimClient, request: Request) -> None:
+            """The submission was lost in transit: account for the id,
+            then resubmit the same statement with backoff — or give up
+            on the transaction when the retry budget is exhausted."""
+            result.drops += 1
+            dropped_ids.add(request.id)
+            if monitor is not None:
+                monitor.note_submitted(request, sim.now)
+                monitor.note_dropped(request.id, sim.now)
+            client.drops_in_row += 1
+            budget = (
+                self.recovery.max_retries if self.recovery is not None else 3
+            )
+            base_delay = (
+                self.recovery.retry_delay if self.recovery is not None else 0.05
+            )
+            if client.drops_in_row > budget:
+                # Give up: abort the half-submitted transaction so any
+                # logical locks it already acquired are released.
+                note_disruption()
+                abort = scheduler.abort_transaction(
+                    client.ta, sim.now, reason="drop-budget"
+                )
+                if result.trace is not None:
+                    result.trace.record(sim.now, abort)
+                client_of_ta.pop(client.ta, None)
+                first_pending_since.pop(client.ta, None)
+                result.retry_budget_exhausted += 1
+                client.drops_in_row = 0
+                client.epoch += 1  # tear down: kill in-flight resumes
+                if sim.now < end:
+                    sim.schedule(
+                        self.cost_model.restart_delay, restart_chain(client)
+                    )
+                return
+            delay = (
+                self.recovery.restart_delay_for(client.drops_in_row, base_delay)
+                if self.recovery is not None
+                else base_delay
+            )
+            sim.schedule(delay, resume_chain(client))
 
         step_event = None
         step_event_time = float("inf")
@@ -231,17 +448,36 @@ class MiddlewareSimulation:
             step_event_time = float("inf")
             if sim.now >= end:
                 return
-            step = scheduler.step(sim.now)
+            try:
+                step = scheduler.step(sim.now)
+            except InjectedStepFault:
+                # The step failed before touching any state; treat it as
+                # a transient internal error and retry shortly.
+                result.step_faults += 1
+                if self.metrics is not None:
+                    self.metrics.incr("sim.step_faults")
+                schedule_step_at(sim.now + 1e-3)
+                return
             result.scheduler_runs += 1
             cost = self.scheduler_cost.step_cost(
                 step.pending_before, step.history_rows
             )
             result.scheduler_cost += cost
             batch = step.qualified
+            if result.trace is not None:
+                # Mirror the scheduler-internal order (admission sheds
+                # happen before the protocol query, recovery aborts
+                # after dispatch) so this log and the invariant
+                # monitor's violation trace are byte-compatible.
+                for __, abort in step.recovery.sheds:
+                    result.trace.record(sim.now, abort)
+                for request in batch:
+                    result.trace.record(sim.now, request)
+                for __, abort in step.recovery.timeouts:
+                    result.trace.record(sim.now, abort)
+                for __, abort in step.recovery.orphans:
+                    result.trace.record(sim.now, abort)
             if batch:
-                if result.trace is not None:
-                    for request in batch:
-                        result.trace.record(sim.now, request)
                 result.batch_sizes.append(len(batch))
                 service = server.execute_batch(batch)
                 result.server_busy += service
@@ -256,7 +492,10 @@ class MiddlewareSimulation:
                         sim.schedule_at(
                             offset, lambda r=request: request_done(r)
                         )
-            handle_timeouts()
+            if step.recovery:
+                handle_recovery_actions(step.recovery)
+            if scheduler.recovery is None:
+                handle_timeouts()
             if len(scheduler.pending) or len(scheduler.incoming):
                 if batch:
                     # Progress was made: continue at the trigger's pace.
@@ -270,6 +509,9 @@ class MiddlewareSimulation:
                     # at one deadlock timeout so deadlocked transactions
                     # still get aborted; enqueue-driven triggers fall back
                     # to the timeout slice.
+                    result.stall_rearms += 1
+                    if self.metrics is not None:
+                        self.metrics.incr("sim.stall_rearms")
                     next_check = self.trigger.next_check(sim.now)
                     if next_check is not None and next_check > sim.now:
                         schedule_step_at(
@@ -279,7 +521,62 @@ class MiddlewareSimulation:
                         delay = max(self.deadlock_timeout / 4, 1e-4)
                         schedule_step_at(sim.now + delay)
 
+        def handle_recovery_actions(actions) -> None:
+            """React to scheduler-side aborts (timeouts, orphan reaps,
+            admission sheds): record them, then restart/retry clients."""
+            for ta, abort in actions.timeouts:
+                result.timeout_aborts += 1
+                result.deadlock_timeout_aborts += 1
+                if self.metrics is not None:
+                    self.metrics.incr("sim.deadlock_timeout_aborts")
+                finish_aborted(ta, abort, retry=True)
+            for ta, abort in actions.orphans:
+                result.reaped_orphans += 1
+                finish_aborted(ta, abort, retry=False)
+            for ta, abort in actions.sheds:
+                result.sheds += 1
+                finish_aborted(ta, abort, retry=True)
+
+        def finish_aborted(ta: int, abort: Request, retry: bool) -> None:
+            # The abort itself was already written to the trace by
+            # run_step, in scheduler order.
+            note_disruption()
+            first_pending_since.pop(ta, None)
+            client = client_of_ta.pop(ta, None)
+            if client is None or client.crashed or sim.now >= end:
+                return
+            if client.ta != ta:
+                # A stale transaction from before a crash/restart: the
+                # client is already running a newer chain — reap only.
+                return
+            client.epoch += 1  # tear down: kill in-flight resumes
+            if not retry:
+                return
+            client.attempt += 1
+            budget = (
+                self.recovery.max_retries if self.recovery is not None else 0
+            )
+            if client.attempt > budget:
+                # Budget exhausted: abandon this profile, move on.
+                result.retry_budget_exhausted += 1
+                sim.schedule(
+                    self.cost_model.restart_delay, restart_chain(client)
+                )
+                return
+            result.retries += 1
+            if self.metrics is not None:
+                self.metrics.incr("sim.retries")
+            delay = (
+                self.recovery.restart_delay_for(
+                    client.attempt, self.cost_model.restart_delay
+                )
+                if self.recovery is not None
+                else self.cost_model.restart_delay
+            )
+            sim.schedule(delay, retry_chain(client))
+
         def request_done(request: Request) -> None:
+            nonlocal disruption_since
             started = submit_times.pop(request.id, None)
             if started is not None:
                 samples = result.response_times.setdefault(
@@ -292,11 +589,27 @@ class MiddlewareSimulation:
             if client is None:
                 return
             first_pending_since.pop(request.ta, None)
+            if client.ta != request.ta:
+                # A completion from a superseded transaction (the client
+                # crashed and restarted while this result was in
+                # flight): drop the stale mapping, don't advance the
+                # new chain's position.
+                del client_of_ta[request.ta]
+                return
             if request.operation is Operation.COMMIT:
                 result.committed_transactions += 1
+                result.goodput_statements += len(client.statements)
+                if disruption_since is not None:
+                    result.recovery_times.append(sim.now - disruption_since)
+                    disruption_since = None
                 del client_of_ta[request.ta]
                 begin_transaction(client)
             else:
+                if client.crashed:
+                    # The server finished the statement but the client is
+                    # gone; nobody advances the transaction (it will be
+                    # reaped as an orphan).
+                    return
                 client.position += 1
                 submit_next(client)
 
@@ -338,14 +651,56 @@ class MiddlewareSimulation:
                 scheduler.history.prune_finished()
                 if pruned:
                     scheduler.protocol.observe_pruned(pruned)
+            if monitor is not None:
+                monitor.note_terminal(doomed_ids, "aborted", sim.now)
+                monitor.note_dispatch(sim.now, abort)
             if result.trace is not None:
                 result.trace.record(sim.now, abort)
             result.timeout_aborts += 1
-            if client is not None and sim.now < end:
+            result.deadlock_timeout_aborts += 1
+            if self.metrics is not None:
+                self.metrics.incr("sim.deadlock_timeout_aborts")
+            note_disruption()
+            if (
+                client is not None
+                and not client.crashed
+                and client.ta == ta
+                and sim.now < end
+            ):
+                client.epoch += 1  # tear down: kill in-flight resumes
                 sim.schedule(
-                    self.cost_model.restart_delay,
-                    lambda c=client: begin_transaction(c),
+                    self.cost_model.restart_delay, restart_chain(client)
                 )
+
+        def crash_client(client: _SimClient) -> None:
+            if sim.now >= end or client.crashed:
+                return
+            client.crashed = True
+            result.crashes += 1
+            note_disruption()
+            scheduler.note_client_crashed(client.attrs.client_id, sim.now)
+
+        def restart_client(client: _SimClient) -> None:
+            if sim.now >= end or not client.crashed:
+                return
+            client.crashed = False
+            scheduler.note_client_recovered(client.attrs.client_id)
+            begin_transaction(client)
+
+        def clock_jump(delta: float) -> None:
+            result.clock_jumps += 1
+            sim.jump(delta)
+
+        if injector is not None:
+            for index, (at, restart) in sorted(injector.crash_schedule.items()):
+                crash_target = clients[index]
+                sim.schedule_at(at, lambda c=crash_target: crash_client(c))
+                if restart is not None and restart < end:
+                    sim.schedule_at(
+                        restart, lambda c=crash_target: restart_client(c)
+                    )
+            for at, delta in injector.clock_jumps:
+                sim.schedule_at(at, lambda d=delta: clock_jump(d))
 
         for client in clients:
             delay = (
@@ -358,4 +713,8 @@ class MiddlewareSimulation:
             else:
                 begin_transaction(client)
         sim.run_until(end)
+        if monitor is not None:
+            live_ids = set(submit_times) | dropped_ids
+            monitor.final_check(live_ids, sim.now)
+            result.invariant_checks = monitor.checks_run
         return result

@@ -1,0 +1,59 @@
+"""Admission control: graceful degradation under overload.
+
+An :class:`AdmissionPolicy` bounds the scheduler's pending table.  When
+a drain pushes the table past ``max_pending`` rows, whole transactions
+are *shed*: their pending rows are removed and an abort is synthesized
+into history (releasing any logical locks they already hold), and the
+driver is told so clients can back off and retry.  Victims are chosen
+lowest-priority first, then most-retried first, then newest first —
+fresh low-priority work is rejected before old high-priority work is
+disturbed, and a client that keeps failing does not get to monopolize
+the pending table with its retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPolicy:
+    """Bounded pending table with shed-on-overload."""
+
+    #: Maximum pending-table rows after a drain; 0/negative is invalid.
+    max_pending: int
+
+    def __post_init__(self) -> None:
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+
+    def choose_victims(
+        self,
+        rows_by_ta: Dict[int, int],
+        priority_of_ta: Dict[int, int],
+        retries_of_ta: Dict[int, int],
+        arrival_of_ta: Dict[int, float],
+        total_rows: int,
+    ) -> List[int]:
+        """Transactions to shed so ``total_rows`` drops to the cap.
+
+        ``rows_by_ta`` maps each pending transaction to its pending row
+        count; the other maps supply the victim-ordering keys.
+        """
+        overflow = total_rows - self.max_pending
+        if overflow <= 0:
+            return []
+        order: Callable[[int], tuple] = lambda ta: (
+            priority_of_ta.get(ta, 0),
+            -retries_of_ta.get(ta, 0),
+            -arrival_of_ta.get(ta, 0.0),
+            -ta,
+        )
+        victims: List[int] = []
+        for ta in sorted(rows_by_ta, key=order):
+            if overflow <= 0:
+                break
+            victims.append(ta)
+            overflow -= rows_by_ta[ta]
+        return victims

@@ -1,0 +1,114 @@
+"""Deterministic fault injection.
+
+A :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.spec.FaultPlan` into concrete injection
+decisions.  Every decision is sampled from a named
+:class:`~repro.sim.rng.RandomStreams` stream (one per fault family),
+derived from the run's seed, so changing one fault family's
+consumption pattern perturbs neither the others nor the workload draw —
+and any faulted run replays exactly.
+
+Timeline faults (crashes, clock jumps) are pre-sampled at construction
+in a fixed order (client index, jump index); per-event faults (stalls,
+drops, step exceptions) consume their stream in the deterministic event
+order of the single-threaded virtual-time loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.spec import FaultKind, FaultPlan
+from repro.sim.rng import RandomStreams
+
+
+class InjectedStepFault(Exception):
+    """A forced scheduler-step failure (raised before the step touches
+    any state; callers treat it as a transient internal error)."""
+
+    def __init__(self, step_index: int) -> None:
+        super().__init__(f"injected fault in scheduler step {step_index}")
+        self.step_index = step_index
+
+
+class FaultInjector:
+    """One run's materialized fault decisions (stateful; build fresh
+    per run via :meth:`FaultPlan.build`)."""
+
+    def __init__(
+        self, plan: FaultPlan, seed: int, clients: int, duration: float
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.clients = clients
+        self.duration = duration
+        streams = RandomStreams(seed)
+        self._stall_rng = streams.stream("faults.stall")
+        self._drop_rng = streams.stream("faults.drop")
+        self._step_rng = streams.stream("faults.step")
+
+        self._stall_specs = plan.of_kind(FaultKind.CLIENT_STALL)
+        self._drop_specs = plan.of_kind(FaultKind.REQUEST_DROP)
+        self._step_specs = plan.of_kind(FaultKind.STEP_EXCEPTION)
+
+        #: client index -> (crash time, restart time or None).
+        self.crash_schedule: Dict[int, Tuple[float, Optional[float]]] = {}
+        crash_rng = streams.stream("faults.crash")
+        for spec in plan.of_kind(FaultKind.CLIENT_CRASH):
+            lo, hi = spec.window
+            for client in range(clients):
+                if client in self.crash_schedule:
+                    continue  # first spec wins; one crash per client
+                if crash_rng.random() < spec.probability:
+                    at = duration * (lo + crash_rng.random() * (hi - lo))
+                    restart = (
+                        at + spec.restart_after
+                        if spec.restart_after is not None
+                        else None
+                    )
+                    self.crash_schedule[client] = (at, restart)
+
+        #: Sorted (time, delta) clock jumps.
+        self.clock_jumps: List[Tuple[float, float]] = []
+        jump_rng = streams.stream("faults.clock")
+        for spec in plan.of_kind(FaultKind.CLOCK_JUMP):
+            lo, hi = spec.window
+            for __ in range(spec.count):
+                at = duration * (lo + jump_rng.random() * (hi - lo))
+                # Never jump past the horizon: the landing time stays
+                # inside the run so post-jump recovery is observable.
+                delta = min(spec.duration, max(0.0, duration - at))
+                if delta > 0:
+                    self.clock_jumps.append((at, delta))
+        self.clock_jumps.sort()
+
+    @property
+    def has_step_faults(self) -> bool:
+        """True when the plan can force scheduler-step exceptions (only
+        then is a ``fault_hook`` worth installing)."""
+        return bool(self._step_specs)
+
+    # -- per-event decisions (deterministic call order) --------------------
+
+    def stall_before_submit(self, client_index: int) -> Optional[float]:
+        """Stall duration to apply before this submission, or None."""
+        for spec in self._stall_specs:
+            if self._stall_rng.random() < spec.probability:
+                return spec.duration
+        return None
+
+    def drop_request(self, client_index: int) -> bool:
+        """True when this submission is lost in transit."""
+        for spec in self._drop_specs:
+            if self._drop_rng.random() < spec.probability:
+                return True
+        return False
+
+    def check_step(self, step_index: int) -> None:
+        """Scheduler step hook; raises :class:`InjectedStepFault` when
+        this step is chosen to fail.  Installed as
+        ``DeclarativeScheduler.fault_hook``, which runs before the step
+        mutates any state."""
+        for spec in self._step_specs:
+            if self._step_rng.random() < spec.probability:
+                raise InjectedStepFault(step_index)

@@ -1,0 +1,287 @@
+"""Runtime invariant monitors for the scheduler.
+
+An :class:`InvariantMonitor` observes every request's lifecycle and
+every scheduler step, and asserts the safety properties the paper's
+declarative schedulers are supposed to guarantee — properties that are
+easy to believe on well-behaved workloads and easy to silently lose
+once clients crash, stall, and retry:
+
+1. **No conflicting concurrent grants** — per the protocol's declared
+   :class:`~repro.protocols.spec.LockModel`, no two active transactions
+   may simultaneously hold grants the model declares incompatible
+   (e.g. two writers of one object under SS2PL).
+2. **No lost requests** — every submitted request ends in exactly one
+   terminal state (granted, aborted, or shed); nothing vanishes and
+   nothing terminates twice.
+3. **Batch monotonicity** — each transaction's requests are dispatched
+   in strictly increasing program (``intrata``) order.
+
+Violations raise :class:`InvariantViolation`, a structured error that
+carries the dispatch trace up to the violation as JSONL lines; written
+to disk (:meth:`InvariantViolation.write_trace`) the file replays
+through the existing ``repro scenario replay``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.model.request import Request
+from repro.protocols.spec import LockModel
+from repro.workload.traces import Trace, write_trace_file
+
+#: Terminal lifecycle states (invariant 2 asserts exactly one of these).
+TERMINAL_STATES = ("granted", "aborted", "shed")
+
+
+class InvariantViolation(AssertionError):
+    """A broken scheduler safety invariant, with replay context.
+
+    ``kind`` is one of ``conflicting-grants`` / ``lost-request`` /
+    ``double-terminal`` / ``non-monotonic-batch``; ``trace`` holds the
+    dispatch log up to the violation and ``context`` the scenario
+    header (name/seed/duration/clients) when a scenario runner
+    attached one.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        detail: str,
+        now: float = 0.0,
+        step: int = 0,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(
+            f"invariant violated [{kind}] at t={now:g} step {step}: {detail}"
+        )
+        self.kind = kind
+        self.detail = detail
+        self.now = now
+        self.step = step
+        self.trace = trace if trace is not None else Trace()
+        self.context: dict = {}
+
+    def attach_context(self, **context) -> "InvariantViolation":
+        self.context.update(context)
+        return self
+
+    def trace_jsonl(self, label: str = "violation") -> List[str]:
+        """The dispatch log up to the violation as JSONL lines."""
+        from repro.workload.traces import _entry_line
+
+        return [
+            _entry_line(label, time, request)
+            for time, request in self.trace.entries
+        ]
+
+    def write_trace(self, path, label: Optional[str] = None) -> int:
+        """Persist the violation's dispatch log as a repro-trace file.
+
+        The header carries the attached scenario context plus
+        ``prefix: true``, so ``repro scenario replay`` re-runs the
+        scenario and verifies the recorded prefix byte-for-byte.  The
+        trace label defaults to the attached cell label, so the replay
+        compares against the right cell's dispatch log."""
+        if label is None:
+            label = self.context.get("cell", "violation")
+        header = {
+            "prefix": True,
+            "violation": self.kind,
+            "violation_detail": self.detail,
+            "violation_time": self.now,
+            "violation_step": self.step,
+        }
+        header.update(self.context)
+        return write_trace_file(path, [(label, self.trace)], header=header)
+
+
+def lock_model_of(protocol) -> Optional[LockModel]:
+    """Best-effort lock model of a live protocol: spec-bound protocols
+    expose their spec; SLA-style decorators expose ``inner``.  Returns
+    None (conflict checking disabled) for protocols whose conflict rule
+    is not declaratively known — e.g. adaptive switchers."""
+    spec = getattr(protocol, "spec", None)
+    if spec is not None and getattr(spec, "lock_model", None) is not None:
+        return spec.lock_model
+    inner = getattr(protocol, "inner", None)
+    if inner is not None:
+        return lock_model_of(inner)
+    return None
+
+
+class InvariantMonitor:
+    """Always-on-in-tests runtime checker (``--check-invariants``).
+
+    Attach to a :class:`~repro.core.scheduler.DeclarativeScheduler` via
+    its ``monitor`` attribute; the scheduler calls
+    :meth:`note_submitted` / :meth:`note_terminal` / :meth:`after_step`
+    at the right lifecycle points.  Drivers report client-side events
+    (drops) themselves and call :meth:`final_check` at the end of a
+    run.
+    """
+
+    def __init__(self, lock_model: Optional[LockModel] = None) -> None:
+        self.lock_model = lock_model
+        self.trace = Trace()
+        self.checks_run = 0
+        self.violations = 0
+        #: request id -> lifecycle state ("pending" | "dropped" | terminal).
+        self._state: Dict[int, str] = {}
+        #: ta -> highest dispatched intrata.
+        self._last_intrata: Dict[int, int] = {}
+
+    # -- lifecycle notifications ------------------------------------------
+
+    def note_submitted(self, request: Request, now: float = 0.0) -> None:
+        previous = self._state.get(request.id)
+        if previous in TERMINAL_STATES:
+            self._fail(
+                "double-terminal",
+                f"request {request.id} resubmitted after terminal state "
+                f"{previous!r}",
+                now,
+            )
+        self._state[request.id] = "pending"
+
+    def note_dropped(self, request_id: int, now: float = 0.0) -> None:
+        if self._state.get(request_id) == "pending":
+            self._state[request_id] = "dropped"
+
+    def note_terminal(
+        self, request_ids: Sequence[int], state: str, now: float = 0.0
+    ) -> None:
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"unknown terminal state {state!r}")
+        for request_id in request_ids:
+            previous = self._state.get(request_id)
+            if previous in TERMINAL_STATES:
+                self._fail(
+                    "double-terminal",
+                    f"request {request_id} reached {state!r} after already "
+                    f"terminal {previous!r}",
+                    now,
+                )
+            self._state[request_id] = state
+
+    def note_dispatch(self, now: float, request: Request) -> None:
+        """Record one dispatched/synthesized request into the violation
+        trace (the replayable context of any later violation)."""
+        self.trace.record(now, request)
+
+    # -- per-step checking -------------------------------------------------
+
+    def after_step(self, scheduler, result, now: float) -> None:
+        """Run all per-step invariant checks (called by the scheduler at
+        the end of every successful step)."""
+        self.checks_run += 1
+        step = scheduler.steps_run
+        for request in result.qualified:
+            self.note_dispatch(now, request)
+            previous = self._state.get(request.id)
+            if previous in TERMINAL_STATES:
+                self._fail(
+                    "double-terminal",
+                    f"request {request.id} granted after terminal "
+                    f"{previous!r}",
+                    now,
+                    step,
+                )
+            if previous is None:
+                self._fail(
+                    "lost-request",
+                    f"request {request.id} granted but never submitted",
+                    now,
+                    step,
+                )
+            self._state[request.id] = "granted"
+            last = self._last_intrata.get(request.ta)
+            if last is not None and request.intrata <= last:
+                self._fail(
+                    "non-monotonic-batch",
+                    f"ta {request.ta} dispatched intrata {request.intrata} "
+                    f"after {last}",
+                    now,
+                    step,
+                )
+            self._last_intrata[request.ta] = request.intrata
+        self._check_conflicting_grants(scheduler, now, step)
+
+    def _check_conflicting_grants(self, scheduler, now: float, step: int) -> None:
+        model = self.lock_model
+        if model is None:
+            return
+        history = scheduler.history
+        active = history.active_transactions
+        if len(active) < 2:
+            return
+        schema = history.table.schema
+        ta_pos = schema.resolve("ta")
+        op_pos = schema.resolve("operation")
+        obj_pos = schema.resolve("object")
+        writers: Dict[int, Set[int]] = {}
+        readers: Dict[int, Set[int]] = {}
+        for row in history.table.rows:
+            ta = row[ta_pos]
+            if ta not in active:
+                continue
+            op = row[op_pos]
+            if op == "w" or (op == "r" and model.reads_are_writes):
+                writers.setdefault(row[obj_pos], set()).add(ta)
+            elif op == "r" and model.reads_take_locks:
+                readers.setdefault(row[obj_pos], set()).add(ta)
+        for obj, write_tas in writers.items():
+            if model.writes_check_writers and len(write_tas) > 1:
+                self._fail(
+                    "conflicting-grants",
+                    f"object {obj} written by concurrent active "
+                    f"transactions {sorted(write_tas)}",
+                    now,
+                    step,
+                )
+            if model.reads_check_writers or model.writes_check_readers:
+                read_tas = readers.get(obj, set()) - write_tas
+                if read_tas and write_tas:
+                    self._fail(
+                        "conflicting-grants",
+                        f"object {obj} read by {sorted(read_tas)} while "
+                        f"written by {sorted(write_tas)}",
+                        now,
+                        step,
+                    )
+
+    # -- end-of-run checking -----------------------------------------------
+
+    def final_check(self, live_ids: Set[int], now: float) -> dict:
+        """Request-lifecycle totality at the end of a run.
+
+        ``live_ids`` are requests the driver can account for outside the
+        scheduler (awaiting a stall/retry timer, in flight to the
+        server, cut off by the horizon).  Everything else must be in a
+        terminal state; a non-terminal request that is neither in the
+        scheduler nor accounted for by the driver was *lost*.  Returns
+        a state -> count summary."""
+        self.checks_run += 1
+        counts: Dict[str, int] = {}
+        for request_id, state in self._state.items():
+            counts[state] = counts.get(state, 0) + 1
+            if state in TERMINAL_STATES:
+                continue
+            if request_id not in live_ids:
+                self._fail(
+                    "lost-request",
+                    f"request {request_id} is {state!r} at end of run but "
+                    f"neither terminal nor accounted for by the driver",
+                    now,
+                )
+        return counts
+
+    def states(self) -> Dict[int, str]:
+        """Snapshot of every observed request's lifecycle state."""
+        return dict(self._state)
+
+    def _fail(
+        self, kind: str, detail: str, now: float, step: int = 0
+    ) -> None:
+        self.violations += 1
+        raise InvariantViolation(kind, detail, now=now, step=step, trace=self.trace)

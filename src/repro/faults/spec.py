@@ -1,0 +1,164 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` names one family of faults (client crash, client
+stall, request drop, clock jump, forced scheduler-step exception) with
+its parameters; a :class:`FaultPlan` bundles several specs into the
+fault side of a scenario.  Both are pure data — like
+:class:`~repro.scenarios.spec.ScenarioSpec`, a plan can be registered,
+printed, and rebuilt bit-identically — and all randomness is deferred
+to the per-subsystem streams of :class:`~repro.sim.rng.RandomStreams`,
+so a faulted run is exactly as replayable as a fault-free one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault families."""
+
+    #: A client process dies: it stops submitting and never terminates
+    #: its in-flight transaction (locks stay held until reaped).
+    CLIENT_CRASH = "client-crash"
+    #: A client freezes for a while mid-transaction (GC pause, swap
+    #: storm) while holding whatever it was granted.
+    CLIENT_STALL = "client-stall"
+    #: A submitted request is lost before reaching the incoming queue
+    #: (dropped packet); the client retries with backoff.
+    REQUEST_DROP = "request-drop"
+    #: The virtual clock jumps forward (NTP step, VM pause).
+    CLOCK_JUMP = "clock-jump"
+    #: One scheduler step raises before doing any work (transient
+    #: internal error); no scheduler state may be corrupted.
+    STEP_EXCEPTION = "step-exception"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One declarative fault family.
+
+    Field use by kind:
+
+    * ``CLIENT_CRASH``: each client crashes with ``probability``, at a
+      time drawn uniformly from ``window`` (fractions of the run
+      duration); it reconnects ``restart_after`` seconds later
+      (``None`` = stays dead).
+    * ``CLIENT_STALL``: before each statement submission the client
+      stalls for ``duration`` seconds with ``probability``.
+    * ``REQUEST_DROP``: each submission is lost with ``probability``.
+    * ``CLOCK_JUMP``: ``count`` jumps of ``duration`` seconds each, at
+      times drawn uniformly from ``window``.
+    * ``STEP_EXCEPTION``: each scheduler step fails with
+      ``probability`` before touching any state.
+    """
+
+    kind: FaultKind
+    probability: float = 0.0
+    duration: float = 0.0
+    restart_after: Optional[float] = None
+    count: int = 0
+    #: (start, end) as fractions of the run duration.
+    window: Tuple[float, float] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise TypeError(f"kind must be a FaultKind, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability out of [0,1]: {self.probability}")
+        lo, hi = self.window
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError(f"window must satisfy 0 <= lo <= hi <= 1: {self.window}")
+        if self.kind in (FaultKind.CLIENT_STALL, FaultKind.CLOCK_JUMP):
+            if self.duration <= 0:
+                raise ValueError(f"{self.kind.value} needs a positive duration")
+        if self.kind is FaultKind.CLOCK_JUMP and self.count <= 0:
+            raise ValueError("clock-jump needs a positive count")
+        if (
+            self.kind
+            in (FaultKind.CLIENT_STALL, FaultKind.REQUEST_DROP, FaultKind.STEP_EXCEPTION, FaultKind.CLIENT_CRASH)
+            and self.probability == 0.0
+        ):
+            raise ValueError(f"{self.kind.value} needs a positive probability")
+        if self.restart_after is not None and self.restart_after < 0:
+            raise ValueError("restart_after must be non-negative")
+
+    @property
+    def label(self) -> str:
+        details = []
+        if self.probability:
+            details.append(f"p={self.probability:g}")
+        if self.duration:
+            details.append(f"d={self.duration:g}s")
+        if self.count:
+            details.append(f"n={self.count}")
+        if details:
+            return f"{self.kind.value}({' '.join(details)})"
+        return self.kind.value
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """The fault side of one scenario: a bundle of fault specs.
+
+    Build concrete injection decisions with
+    :meth:`~repro.faults.injector.FaultInjector` via :meth:`build`; the
+    injector samples every decision from named
+    :class:`~repro.sim.rng.RandomStreams` streams derived from the
+    run's seed, so two runs of the same (plan, seed) inject identical
+    faults.
+    """
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a fault plan needs at least one fault spec")
+
+    def of_kind(self, kind: FaultKind) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.kind is kind)
+
+    @property
+    def label(self) -> str:
+        return "+".join(spec.label for spec in self.specs)
+
+    def build(self, seed: int, clients: int, duration: float):
+        """Materialize a :class:`~repro.faults.injector.FaultInjector`
+        for one run (fresh per run — injectors are stateful)."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, seed=seed, clients=clients, duration=duration)
+
+
+def crash(probability: float, restart_after: Optional[float] = 0.5,
+          window: Tuple[float, float] = (0.0, 1.0)) -> FaultSpec:
+    """Shorthand for a client-crash spec."""
+    return FaultSpec(
+        FaultKind.CLIENT_CRASH,
+        probability=probability,
+        restart_after=restart_after,
+        window=window,
+    )
+
+
+def stall(probability: float, duration: float) -> FaultSpec:
+    """Shorthand for a client-stall spec."""
+    return FaultSpec(FaultKind.CLIENT_STALL, probability=probability, duration=duration)
+
+
+def drop(probability: float) -> FaultSpec:
+    """Shorthand for a request-drop spec."""
+    return FaultSpec(FaultKind.REQUEST_DROP, probability=probability)
+
+
+def clock_jump(count: int, duration: float,
+               window: Tuple[float, float] = (0.1, 0.9)) -> FaultSpec:
+    """Shorthand for a clock-jump spec."""
+    return FaultSpec(FaultKind.CLOCK_JUMP, count=count, duration=duration, window=window)
+
+
+def step_exception(probability: float) -> FaultSpec:
+    """Shorthand for a forced-step-exception spec."""
+    return FaultSpec(FaultKind.STEP_EXCEPTION, probability=probability)

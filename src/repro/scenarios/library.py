@@ -13,6 +13,14 @@ of them up).
 
 from __future__ import annotations
 
+from repro.faults import (
+    AdmissionPolicy,
+    FaultPlan,
+    RecoveryPolicy,
+    crash,
+    drop,
+    stall,
+)
 from repro.scenarios.spec import (
     ScenarioCell,
     ScenarioSpec,
@@ -198,6 +206,91 @@ MATRIX_SWEEP = register_scenario(
         clients=25,
         duration=3.0,
         seed=3,
+    )
+)
+
+# -- chaos scenarios -------------------------------------------------------
+#
+# Deterministic fault-injection runs: every fault decision comes from
+# the run seed, so `repro scenario record/replay` round-trips these
+# exactly like the fault-free scenarios.  Their reports add the
+# recovery metrics (aborts, retries, sheds, time-to-recover, goodput).
+
+CRASH_STORM = register_scenario(
+    ScenarioSpec(
+        name="crash-storm",
+        description="clients crash mid-transaction and reconnect; orphans reaped",
+        workload=WorkloadSpec(reads_per_txn=3, writes_per_txn=3, table_rows=60),
+        cells=(ScenarioCell(label="ss2pl", trigger=_HYBRID),),
+        clients=16,
+        duration=4.0,
+        seed=7,
+        faults=FaultPlan(
+            specs=(
+                crash(probability=0.7, restart_after=0.9, window=(0.05, 0.7)),
+                stall(probability=0.08, duration=0.5),
+                drop(probability=0.04),
+            )
+        ),
+        recovery=RecoveryPolicy(
+            request_timeout=0.25,
+            backoff_factor=2.0,
+            max_retries=3,
+            orphan_lease=0.6,
+            retry_delay=0.02,
+        ),
+        admission=AdmissionPolicy(max_pending=10),
+    )
+)
+
+STALL_UNDER_ZIPF_HOTSPOT = register_scenario(
+    ScenarioSpec(
+        name="stall-under-zipf-hotspot",
+        description="GC-pause stalls while Zipf(1.1) hot rows concentrate conflicts",
+        workload=WorkloadSpec(
+            reads_per_txn=3,
+            writes_per_txn=3,
+            table_rows=200,
+            zipf_theta=1.1,
+        ),
+        cells=(ScenarioCell(label="ss2pl", trigger=_HYBRID),),
+        clients=20,
+        duration=4.0,
+        seed=13,
+        faults=FaultPlan(specs=(stall(probability=0.15, duration=0.6),)),
+        recovery=RecoveryPolicy(
+            request_timeout=0.3,
+            max_retries=4,
+            orphan_lease=0.8,
+            retry_delay=0.02,
+        ),
+        admission=AdmissionPolicy(max_pending=12),
+    )
+)
+
+RETRY_THUNDERING_HERD = register_scenario(
+    ScenarioSpec(
+        name="retry-thundering-herd",
+        description="drops + tiny hot table force synchronized retry waves",
+        workload=WorkloadSpec(reads_per_txn=2, writes_per_txn=4, table_rows=24),
+        cells=(ScenarioCell(label="ss2pl", trigger=_HYBRID),),
+        clients=24,
+        duration=4.0,
+        seed=29,
+        faults=FaultPlan(
+            specs=(
+                drop(probability=0.10),
+                stall(probability=0.05, duration=0.3),
+            )
+        ),
+        recovery=RecoveryPolicy(
+            request_timeout=0.2,
+            backoff_factor=2.0,
+            max_retries=5,
+            orphan_lease=0.8,
+            retry_delay=0.01,
+        ),
+        admission=AdmissionPolicy(max_pending=14),
     )
 )
 

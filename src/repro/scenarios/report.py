@@ -30,6 +30,24 @@ def _cell_row(entry: CellResult) -> list[object]:
     ]
 
 
+def _recovery_row(entry: CellResult) -> list[object]:
+    result = entry.result
+    return [
+        entry.cell.label,
+        result.deadlock_timeout_aborts,
+        result.reaped_orphans,
+        result.retries,
+        result.retry_budget_exhausted,
+        result.sheds,
+        result.crashes,
+        result.stalls,
+        result.drops,
+        result.step_faults,
+        round(result.mean_recovery_time * 1000, 3),
+        round(result.goodput, 1),
+    ]
+
+
 def _tier_rows(outcome: ScenarioResult) -> list[list[object]]:
     rows = []
     for entry in outcome.cells:
@@ -64,6 +82,7 @@ def render_scenario_report(outcome: ScenarioResult) -> str:
             if spec.burst_size is not None
             else ""
         )
+        + (f" faults={spec.faults.label}" if spec.faults is not None else "")
     )
     table = render_table(
         ["cell", "protocol", "trigger", "stmts", "stmts/s", "commits",
@@ -71,6 +90,16 @@ def render_scenario_report(outcome: ScenarioResult) -> str:
         [_cell_row(entry) for entry in outcome.cells],
     )
     parts = [header, table]
+    if spec.is_chaos:
+        parts.append(
+            render_table(
+                ["cell", "timeouts", "orphans", "retries", "gave up",
+                 "sheds", "crashes", "stalls", "drops", "step faults",
+                 "mean ttr (ms)", "goodput/s"],
+                [_recovery_row(entry) for entry in outcome.cells],
+                title="recovery metrics",
+            )
+        )
     if spec.population == "sla-tiers":
         parts.append(
             render_table(

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.backends import build_protocol
 from repro.core.scheduler import SchedulerConfig, SchedulerCostModel
 from repro.core.simulation import MiddlewareResult, MiddlewareSimulation
+from repro.faults.invariants import InvariantViolation
 from repro.protocols.adaptive import AdaptiveConsistencyProtocol
 from repro.protocols.base import Protocol
 from repro.protocols.sla import SLAOrderingProtocol
@@ -95,12 +96,19 @@ def run_scenario(
     record: bool = False,
     cost_model: CostModel = PAPER_CALIBRATION,
     scheduler_cost: SchedulerCostModel = SchedulerCostModel(),
+    check_invariants: bool = False,
 ) -> ScenarioResult:
     """Run every cell of *spec* under the virtual clock.
 
     ``seed``/``duration``/``clients`` override the spec's defaults (the
     CLI flags); all cells share them, so sweep cells see the identical
     workload draw.
+
+    With ``check_invariants``, every cell runs under an
+    :class:`~repro.faults.invariants.InvariantMonitor`; a violation
+    raises :class:`~repro.faults.invariants.InvariantViolation` with the
+    scenario context (name/seed/duration/clients/cell) attached, so its
+    trace file replays through :func:`replay_scenario`.
     """
     seed = spec.seed if seed is None else seed
     duration = spec.duration if duration is None else duration
@@ -135,9 +143,23 @@ def run_scenario(
             scheduler_config=SchedulerConfig(max_batch=cell.max_batch),
             record_trace=record,
             start_delay_for_client=start_delay,
+            faults=spec.faults,
+            recovery=spec.recovery,
+            admission=spec.admission,
+            check_invariants=check_invariants,
         )
+        try:
+            cell_result = simulation.run(duration)
+        except InvariantViolation as violation:
+            raise violation.attach_context(
+                scenario=spec.name,
+                seed=seed,
+                duration=duration,
+                clients=clients,
+                cell=cell.label,
+            )
         outcome.cells.append(
-            CellResult(cell=cell, protocol=protocol, result=simulation.run(duration))
+            CellResult(cell=cell, protocol=protocol, result=cell_result)
         )
     return outcome
 
@@ -152,11 +174,17 @@ def record_scenario(
     seed: Optional[int] = None,
     duration: Optional[float] = None,
     clients: Optional[int] = None,
+    check_invariants: bool = False,
 ) -> ScenarioResult:
     """Run with trace recording on and persist the dispatch log plus the
     header needed to re-run it (:func:`replay_scenario`)."""
     outcome = run_scenario(
-        spec, seed=seed, duration=duration, clients=clients, record=True
+        spec,
+        seed=seed,
+        duration=duration,
+        clients=clients,
+        record=True,
+        check_invariants=check_invariants,
     )
     write_trace_file(
         path,
@@ -185,11 +213,16 @@ class ReplayOutcome:
 def replay_scenario(path) -> ReplayOutcome:
     """Re-run the scenario named in a trace file's header (same seed,
     duration and client count) and compare the produced dispatch log
-    entry-by-entry against the recorded one."""
+    entry-by-entry against the recorded one.
+
+    Trace files whose header carries ``prefix: true`` (invariant-
+    violation traces, cut off at the failing step) are verified as a
+    *prefix* of the produced log instead of requiring full equality."""
     header, recorded = read_trace_file(path)
     name = header.get("scenario")
     if not name:
         raise ValueError(f"trace {path} has no scenario in its header")
+    prefix = bool(header.get("prefix"))
     spec = get_scenario(name)
     outcome = run_scenario(
         spec,
@@ -207,7 +240,19 @@ def replay_scenario(path) -> ReplayOutcome:
         for entry in outcome.cells
         if len(entry.result.trace or ()) > 0
     ]
-    if sorted(recorded_map) != sorted(produced_labels):
+    if prefix:
+        # A violation trace covers a single cell, cut off mid-run; the
+        # other cells of the scenario may legitimately be absent.
+        missing = sorted(set(recorded_map) - set(produced_labels))
+        if missing:
+            return ReplayOutcome(
+                scenario=name,
+                matches=False,
+                entries=entries,
+                mismatch=f"recorded cells missing from replay: {missing}",
+                result=outcome,
+            )
+    elif sorted(recorded_map) != sorted(produced_labels):
         return ReplayOutcome(
             scenario=name,
             matches=False,
@@ -221,6 +266,8 @@ def replay_scenario(path) -> ReplayOutcome:
     for label, trace in recorded_map.items():
         want = canonical_entries(trace)
         got = canonical_entries(produced[label])
+        if prefix:
+            got = got[: len(want)]
         if want != got:
             detail = f"{len(want)} vs {len(got)} entries"
             for index, (a, b) in enumerate(zip(want, got)):

@@ -25,6 +25,9 @@ from repro.core.triggers import (
     TimeLapseTrigger,
     TriggerPolicy,
 )
+from repro.faults.admission import AdmissionPolicy
+from repro.faults.recovery import RecoveryPolicy
+from repro.faults.spec import FaultPlan
 from repro.workload.spec import WorkloadSpec
 
 #: Client-population kinds understood by the runner.
@@ -95,6 +98,17 @@ class ScenarioSpec:
     #: every ``burst_gap`` virtual seconds (``None`` = all at t=0).
     burst_size: Optional[int] = None
     burst_gap: float = 0.0
+    #: Chaos side of the scenario: deterministic fault injection plus
+    #: the recovery/admission policies that are supposed to absorb it.
+    #: All pure data (frozen), so faulted scenarios stay replayable.
+    faults: Optional[FaultPlan] = None
+    recovery: Optional[RecoveryPolicy] = None
+    admission: Optional[AdmissionPolicy] = None
+
+    @property
+    def is_chaos(self) -> bool:
+        """True when the scenario injects faults."""
+        return self.faults is not None
 
     def __post_init__(self) -> None:
         if not self.cells:

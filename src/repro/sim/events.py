@@ -64,6 +64,22 @@ class EventQueue:
             event.cancel()
             self._live -= 1
 
+    def retime_before(self, target: float) -> int:
+        """Move every live event scheduled before *target* to fire at
+        *target* instead (clock-jump support).  Event identity is
+        preserved — handles stay cancellable — and ties at *target*
+        resolve by the original scheduling sequence, so the relative
+        order of the moved events is unchanged.  Returns the number of
+        events moved."""
+        moved = 0
+        for event in self._heap:
+            if not event.cancelled and event.time < target:
+                event.time = target
+                moved += 1
+        if moved:
+            heapq.heapify(self._heap)
+        return moved
+
     def __len__(self) -> int:
         return self._live
 

@@ -8,8 +8,21 @@ variance-reduction discipline in simulation studies.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a child seed from ``(master_seed, name)``.
+
+    Uses a cryptographic digest rather than ``hash()`` because string
+    hashing is salted per process (PYTHONHASHSEED): replayable fault
+    plans and the CI determinism smoke compare runs across *separate*
+    interpreter invocations, so the derivation must be process-stable.
+    """
+    digest = hashlib.sha256(f"{master_seed}\x00{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
 
 
 class RandomStreams:
@@ -27,9 +40,9 @@ class RandomStreams:
     def stream(self, name: str) -> random.Random:
         """Return (creating on first use) the stream called *name*."""
         if name not in self._streams:
-            # Derive a child seed deterministically from master seed + name.
-            child_seed = hash((self._master_seed, name)) & 0x7FFFFFFFFFFFFFFF
-            self._streams[name] = random.Random(child_seed)
+            self._streams[name] = random.Random(
+                derive_seed(self._master_seed, name)
+            )
         return self._streams[name]
 
     def reset(self) -> None:

@@ -70,6 +70,21 @@ class Simulator:
     def cancel(self, event: Event) -> None:
         self.queue.cancel(event)
 
+    def jump(self, delta: float) -> float:
+        """Jump the clock forward by *delta* virtual seconds (a fault-
+        injection primitive: an NTP step, a VM pause, a GC stall).
+
+        Events scheduled inside the skipped window are not lost; they
+        fire at the landing time, in their original relative order —
+        exactly what a wall-clock jump does to timers that were already
+        armed.  Returns the new clock value."""
+        if delta < 0:
+            raise ValueError(f"cannot jump backwards: {delta}")
+        target = self.now + delta
+        self.queue.retime_before(target)
+        self.clock.advance_to(target)
+        return target
+
     def step(self) -> bool:
         """Process one event.  Returns False when the queue is empty."""
         event = self.queue.pop()

@@ -16,6 +16,15 @@ any operating point's compiled per-step median regressed by more than
 The workload is the E5 declarative-overhead operating point driven for
 ten steps at three history sizes; batches are verified identical
 between the two evaluation strategies before any number is reported.
+
+The artefact also carries ``delta_points``: the compiled-delta backend
+at 10^5–10^6 *preloaded* history rows (small active working set, deep
+committed history) against the compiled full-recompute baseline.  In
+``--check`` mode those points are guarded two ways: relative drift
+against the committed numbers (``--delta-threshold``, relaxed because
+sub-millisecond medians are noisy on shared runners) and an absolute
+per-step budget at the 10^5-row point (``--delta-budget-ms``, default
+1 ms) — the O(|delta|) claim as a number.
 """
 
 from __future__ import annotations
@@ -30,7 +39,9 @@ sys.path.insert(
 )
 
 from repro.bench.scheduler_step import (  # noqa: E402
+    render_delta_scale_report,
     render_scheduler_step_report,
+    run_delta_scale_bench,
     run_scheduler_step_bench,
     write_scheduler_step_bench,
 )
@@ -75,6 +86,43 @@ def check_regression(
     return failures
 
 
+#: The operating point the absolute per-step budget applies to.
+DELTA_BUDGET_ROWS = 100_000
+
+
+def check_delta_regression(
+    committed: dict,
+    fresh_points: list[dict],
+    threshold_pct: float,
+    budget_ms: float,
+) -> list[str]:
+    """Guard the large-history delta points: relative drift against the
+    committed artefact plus the absolute per-step budget at the
+    10^5-row point."""
+    failures: list[str] = []
+    committed_points = {
+        p["history_rows"]: p for p in committed.get("delta_points", [])
+    }
+    for point in fresh_points:
+        rows = point["history_rows"]
+        new = point["delta_median_step_s"]
+        baseline = committed_points.get(rows)
+        if baseline is not None:
+            old = baseline["delta_median_step_s"]
+            if old > 0 and new > old * (1 + threshold_pct / 100.0):
+                failures.append(
+                    f"{rows} history rows: delta per-step median "
+                    f"{new * 1000:.3f} ms vs committed {old * 1000:.3f} ms "
+                    f"(+{(new / old - 1) * 100:.0f}% > {threshold_pct:.0f}%)"
+                )
+        if rows == DELTA_BUDGET_ROWS and new * 1000 > budget_ms:
+            failures.append(
+                f"{rows} history rows: delta per-step median "
+                f"{new * 1000:.3f} ms exceeds the {budget_ms:g} ms budget"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -96,6 +144,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--steps", type=int, default=10, help="scheduler steps per point"
     )
+    parser.add_argument(
+        "--delta-rows", type=int, nargs="*", default=None,
+        help="preloaded-history sizes for the compiled-delta points "
+        "(default: 100000 1000000 when writing, 100000 for --check; "
+        "pass with no values to skip them)",
+    )
+    parser.add_argument(
+        "--delta-threshold", type=float, default=50.0,
+        help="--check: max tolerated delta-point regression in percent "
+        "(relaxed: sub-ms medians are noisy on shared runners)",
+    )
+    parser.add_argument(
+        "--delta-budget-ms", type=float, default=1.0,
+        help="--check: absolute per-step median budget at the "
+        f"{DELTA_BUDGET_ROWS}-row point",
+    )
     args = parser.parse_args(argv)
     output = pathlib.Path(args.output)
 
@@ -113,6 +177,21 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         print(render_scheduler_step_report(fresh))
         failures = check_regression(committed, fresh, args.threshold)
+        delta_rows = (
+            args.delta_rows
+            if args.delta_rows is not None
+            else [DELTA_BUDGET_ROWS]
+        )
+        if delta_rows:
+            delta_points = run_delta_scale_bench(
+                delta_rows, steps=args.steps
+            )
+            print()
+            print(render_delta_scale_report(delta_points))
+            failures += check_delta_regression(
+                committed, delta_points,
+                args.delta_threshold, args.delta_budget_ms,
+            )
         if failures:
             print(
                 "\nPERF REGRESSION against committed "
@@ -127,10 +206,19 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    delta_rows = (
+        args.delta_rows
+        if args.delta_rows is not None
+        else [100_000, 1_000_000]
+    )
     report = write_scheduler_step_bench(
-        str(output), steps=args.steps, backend=args.backend
+        str(output), steps=args.steps, backend=args.backend,
+        delta_history_sizes=tuple(delta_rows),
     )
     print(render_scheduler_step_report(report))
+    if report.get("delta_points"):
+        print()
+        print(render_delta_scale_report(report["delta_points"]))
     print(f"\nwrote {output}")
     slowest = min(p["speedup"] for p in report["points"])
     print(f"minimum speedup across history sizes: {slowest}x")

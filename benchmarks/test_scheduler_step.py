@@ -70,6 +70,62 @@ def test_stateful_backend_observes_preloaded_history():
     assert all(p["batches_identical"] for p in report["points"])
 
 
+def test_delta_scale_point_matches_baseline_and_rebuilds_once():
+    from repro.bench.scheduler_step import run_delta_scale_bench
+
+    points = run_delta_scale_bench(
+        history_sizes=(3_000,), active_clients=20, steps=4
+    )
+    (point,) = points
+    assert point["batches_identical"]
+    # One rebuild: the initial seeding.  Steady-state steps are pure
+    # delta maintenance.
+    assert point["rebuilds"] == 1
+    assert point["delta_rows_per_step"] > 0
+
+
+def test_write_bench_includes_delta_points(tmp_path):
+    import json
+
+    output = tmp_path / "bench.json"
+    report = write_scheduler_step_bench(
+        str(output), client_counts=(50,), steps=3,
+        delta_history_sizes=(2_000,),
+    )
+    assert report["delta_backend"] == "compiled-delta"
+    data = json.loads(output.read_text(encoding="utf-8"))
+    assert [p["history_rows"] for p in data["delta_points"]] == [2_000]
+
+
+def test_check_delta_regression_guards_drift_and_budget():
+    from benchmarks.bench_scheduler_step import (
+        DELTA_BUDGET_ROWS,
+        check_delta_regression,
+    )
+
+    committed = {
+        "delta_points": [
+            {"history_rows": DELTA_BUDGET_ROWS, "delta_median_step_s": 0.0005}
+        ]
+    }
+    ok = [{"history_rows": DELTA_BUDGET_ROWS, "delta_median_step_s": 0.0006}]
+    assert check_delta_regression(committed, ok, 50.0, 1.0) == []
+    drift = [
+        {"history_rows": DELTA_BUDGET_ROWS, "delta_median_step_s": 0.0009}
+    ]
+    failures = check_delta_regression(committed, drift, 50.0, 1.0)
+    assert len(failures) == 1 and "committed" in failures[0]
+    # Past the absolute budget both guards fire.
+    over = [
+        {"history_rows": DELTA_BUDGET_ROWS, "delta_median_step_s": 0.0015}
+    ]
+    failures = check_delta_regression(committed, over, 50.0, 1.0)
+    assert len(failures) == 2 and any("budget" in f for f in failures)
+    # The budget applies even without committed delta points (first run).
+    failures = check_delta_regression({}, over, 50.0, 1.0)
+    assert len(failures) == 1 and "budget" in failures[0]
+
+
 def test_check_refuses_mismatched_artefact():
     from benchmarks.bench_scheduler_step import artefact_mismatch
 

@@ -173,6 +173,13 @@ class SpecProtocol(Protocol):
     def reset(self) -> None:
         self._evaluator.reset()
 
+    def maintenance_stats(self) -> Optional[dict]:
+        """Delta/cache maintenance counters, when the backend keeps
+        incrementally maintained state (None otherwise).  Surfaced in
+        scenario reports and the step-cost bench."""
+        stats = getattr(self._evaluator, "maintenance_stats", None)
+        return stats() if callable(stats) else None
+
     def observe_executed(self, batch: Sequence[Request]) -> None:
         self._evaluator.observe_executed(batch)
 

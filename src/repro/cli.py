@@ -12,6 +12,7 @@ Usage::
     python -m repro scenario list        # registered deterministic scenarios
     python -m repro scenario run zipf-hotspot --seed 7
     python -m repro scenario run smoke --record smoke.trace
+    python -m repro scenario run smoke --backend compiled-delta
     python -m repro scenario replay smoke.trace
     python -m repro scenario compare trigger-sweep matrix-sweep
     python -m repro demo                 # the quickstart scenario
@@ -310,8 +311,11 @@ def _cmd_scenario(args) -> int:
         overrides = dict(
             seed=args.seed, duration=args.duration, clients=args.clients
         )
+        # `scenario compare` has no --backend flag; only `run` does.
+        backend = _check_backend(getattr(args, "backend", None))
         try:
             if args.scenario_command == "run":
+                from repro.backends import BackendError
                 from repro.faults import InvariantViolation
 
                 try:
@@ -320,12 +324,14 @@ def _cmd_scenario(args) -> int:
                             specs[0],
                             args.record,
                             check_invariants=args.check_invariants,
+                            backend=backend,
                             **overrides,
                         )
                     else:
                         outcome = run_scenario(
                             specs[0],
                             check_invariants=args.check_invariants,
+                            backend=backend,
                             **overrides,
                         )
                     print(render_scenario_report(outcome))
@@ -339,6 +345,9 @@ def _cmd_scenario(args) -> int:
                         )
                     if args.record:
                         print(f"\ntrace recorded to {args.record}")
+                except BackendError as error:
+                    print(str(error), file=sys.stderr)
+                    return 2
                 except InvariantViolation as violation:
                     print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
                     trace_path = f"{specs[0].name}.violation.trace"
@@ -508,6 +517,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     scenario_run.add_argument("name", help="registered scenario name")
     _scenario_overrides(scenario_run)
+    scenario_run.add_argument(
+        "--backend",
+        help="override every cell's execution backend "
+        "(e.g. compiled-delta); recorded into the trace header",
+    )
     scenario_run.add_argument(
         "--record", metavar="PATH", help="record the dispatch trace to PATH"
     )

@@ -238,7 +238,12 @@ class DeclarativeScheduler:
     def should_run(self, now: float) -> bool:
         """Evaluate the trigger condition."""
         if len(self.incoming) == 0 and len(self.pending) == 0:
-            return False
+            # The empty fast path must not starve recovery: an orphaned
+            # transaction whose lease has expired still holds logical
+            # locks in history, and only a step's recovery sweep can
+            # reap it.  (Timeout aborts need no such check — their
+            # clocks are armed by rows sitting in pending.)
+            return self._orphan_reap_due(now)
         if self.trigger.should_fire(self.incoming, now):
             return True
         if len(self.pending) > 0:
@@ -249,6 +254,17 @@ class DeclarativeScheduler:
             next_check = self.trigger.next_check(now)
             return next_check is not None and now >= next_check
         return False
+
+    def _orphan_reap_due(self, now: float) -> bool:
+        """True when some orphan's lease has expired and a recovery
+        sweep would abort it right now."""
+        if self.recovery is None or not self._orphaned_at:
+            return False
+        lease = self.recovery.orphan_lease
+        return any(
+            ta in self._client_of_ta and now - orphaned_at >= lease
+            for ta, orphaned_at in self._orphaned_at.items()
+        )
 
     # -- crash notifications (recovery) -----------------------------------------
 
@@ -374,6 +390,16 @@ class DeclarativeScheduler:
                 self.metrics.incr(
                     "scheduler.sheds", len(recovery_actions.sheds)
                 )
+            if pending_before:
+                # Only when the protocol query actually ran: on the
+                # empty-pending fast path the evaluator's last-step
+                # snapshot is stale and would double-count.
+                stats_fn = getattr(self.protocol, "maintenance_stats", None)
+                stats = stats_fn() if callable(stats_fn) else None
+                if stats:
+                    self.metrics.record_maintenance(
+                        stats, prefix="scheduler.delta"
+                    )
 
         return result
 

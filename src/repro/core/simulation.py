@@ -112,6 +112,10 @@ class MiddlewareResult:
     goodput_statements: int = 0
     #: Invariant checks executed (0 when monitoring was off).
     invariant_checks: int = 0
+    #: Cumulative delta/plan-cache maintenance counters from the
+    #: protocol's backend (None unless the backend keeps incrementally
+    #: maintained state — e.g. ``compiled-delta``).
+    delta_maintenance: Optional[dict] = None
 
     @property
     def throughput(self) -> float:
@@ -236,6 +240,7 @@ class MiddlewareSimulation:
             config=self.scheduler_config,
             recovery=self.recovery,
             admission=self.admission,
+            metrics=self.metrics,
         )
         monitor: Optional[InvariantMonitor] = None
         if self.check_invariants:
@@ -717,4 +722,7 @@ class MiddlewareSimulation:
             live_ids = set(submit_times) | dropped_ids
             monitor.final_check(live_ids, sim.now)
             result.invariant_checks = monitor.checks_run
+        stats_fn = getattr(self.protocol, "maintenance_stats", None)
+        if callable(stats_fn):
+            result.delta_maintenance = stats_fn()
         return result

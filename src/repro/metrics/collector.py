@@ -64,6 +64,32 @@ class MetricsCollector:
         """Append an (x, y) observation to a named series (for plots)."""
         self.series.setdefault(series, []).append((x, y))
 
+    def record_maintenance(
+        self, stats: Dict[str, object], prefix: str = "delta"
+    ) -> None:
+        """Fold one evaluation's delta-maintenance observation into the
+        namespace: per-step delta sizes become counters, maintenance
+        time (total and per operator) becomes timers, and plan-cache
+        totals become gauges.
+
+        ``stats`` is the dict a backend's ``maintenance_stats()``
+        returns — cumulative counters plus a ``last`` per-step snapshot.
+        Only the snapshot is accumulated here, so calling once per
+        scheduler step never double-counts.
+        """
+        last = stats.get("last") or {}
+        self.incr(f"{prefix}.inserts", int(last.get("inserts", 0)))
+        self.incr(f"{prefix}.retracts", int(last.get("retracts", 0)))
+        if last.get("rebuild"):
+            self.incr(f"{prefix}.rebuilds")
+        self.timer(f"{prefix}.maintain").add(float(last.get("maintain_s", 0.0)))
+        for label, seconds in (last.get("operator_s") or {}).items():
+            self.timer(f"{prefix}.op.{label}").add(float(seconds))
+        self.gauge(f"{prefix}.cache_hits", float(stats.get("cache_hits", 0)))
+        self.gauge(
+            f"{prefix}.cache_misses", float(stats.get("cache_misses", 0))
+        )
+
     def timers(self) -> Dict[str, Timer]:
         return dict(self._timers)
 

@@ -483,30 +483,27 @@ class _CachedBuild:
         self.key_of = _key_fn(positions, scalar=True)
         self.mode = mode
         self.state: Optional[dict] = None
-        self.mark: tuple[int, int] = (0, 0)
         self.rebuilds = 0
         self.delta_rows_applied = 0
-        # Journaling stops (and the journal is pruned) once every
-        # registered consumer — e.g. this build, after its plan is
-        # evicted from a PlanCache — has been collected.
-        table.register_delta_consumer(self)
+        # The cursor is also the journal-lifetime token: journaling
+        # stops (and the journal is pruned) once every consumer — e.g.
+        # this build, after its plan is evicted from a PlanCache — has
+        # been collected.  Consuming via a cursor lets the table prune
+        # the journal prefix eagerly, so it stays bounded by the
+        # slowest *live* consumer instead of growing until compaction.
+        self._cursor = table.delta_cursor()
 
     # -- synchronization --------------------------------------------------
 
     def _sync(self) -> dict:
-        deltas = (
-            self.table.delta_since(*self.mark)
-            if self.state is not None
-            else None
-        )
-        if deltas is None:
+        deltas = self._cursor.take()
+        if deltas is None or self.state is None:
             self._rebuild()
         elif deltas:
             try:
                 self._apply(deltas)
             except ValueError:  # removal of an untracked row: resync
                 self._rebuild()
-        self.mark = self.table.delta_state()
         return self.state
 
     def _rebuild(self) -> None:

@@ -20,6 +20,36 @@ class TableError(Exception):
     """Raised for arity mismatches and unknown index columns."""
 
 
+class DeltaCursor:
+    """An O(1) consumer position into a table's delta journal.
+
+    A cursor records the absolute journal offset its owner has consumed
+    up to; :meth:`take` returns everything appended since, advances the
+    cursor to the journal's end in O(1), and lets the table prune the
+    consumed prefix eagerly.  The table holds cursors weakly — when the
+    owning consumer (a cached build, a delta plan) is collected, its
+    cursor dies with it and journaling stops once no consumer remains.
+
+    ``take()`` returns ``None`` when the cursor's span is gone (journal
+    truncation overtook a laggard, or :meth:`Table.clear` replaced the
+    contents); the consumer must then rebuild from :attr:`Table.rows`.
+    The cursor is repositioned at the journal's end either way, so the
+    rebuild-then-resume sequence needs no extra bookkeeping.
+    """
+
+    __slots__ = ("table", "epoch", "position", "__weakref__")
+
+    def __init__(self, table: "Table") -> None:
+        self.table = table
+        self.epoch = table._log_epoch
+        self.position = table._log_base + len(table._log)
+
+    def take(self) -> Optional[list[tuple[bool, tuple]]]:
+        """Entries appended since the last take (advancing past them),
+        or ``None`` when the span is gone and the owner must rebuild."""
+        return self.table._take_since(self)
+
+
 class HashIndex:
     """Equality hash index over one or more columns of a table."""
 
@@ -75,19 +105,25 @@ class Table:
         )
         self._rows: list[tuple] = []
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
-        # Delta journal: (added, row) entries since the last compaction.
-        # Cached physical-plan state (repro.relalg.plan) replays it to
-        # stay in sync with the table instead of rebuilding per step;
-        # the epoch bumps whenever the journal is no longer a complete
-        # record (compaction, clear), forcing consumers to rebuild.
-        # Recording starts lazily on the first delta_state() call, so
-        # tables with no journal consumer pay nothing per mutation.
+        # Delta journal: (added, row) entries.  Cached physical-plan and
+        # delta-plan state (repro.relalg.plan / repro.relalg.delta)
+        # replays it to stay in sync with the table instead of
+        # rebuilding per step.  Positions are *absolute* (``_log_base``
+        # is the offset of ``_log[0]``), so the consumed prefix can be
+        # pruned without moving anyone's mark; the epoch bumps only when
+        # the table's contents are replaced wholesale (``clear``).
+        # Recording starts lazily on the first delta_state()/
+        # delta_cursor() call, so tables with no journal consumer pay
+        # nothing per mutation.
         self._log: list[tuple[bool, tuple]] = []
+        self._log_base = 0
         self._log_epoch = 0
         self._log_enabled = False
-        # Weak references to registered journal consumers: when the last
-        # one is collected, journaling stops and the log is pruned, so a
-        # table never accumulates deltas for plans that no longer exist.
+        # Weak references to registered journal consumers — legacy
+        # owner objects and :class:`DeltaCursor` instances alike: when
+        # the last one is collected, journaling stops and the log is
+        # pruned, so a table never accumulates deltas for plans that no
+        # longer exist.
         self._log_consumers: list[weakref.ref] = []
         self.insert_many(rows)
 
@@ -157,6 +193,7 @@ class Table:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        self._log_base += len(self._log)
         self._log.clear()
         self._log_epoch += 1
 
@@ -170,11 +207,29 @@ class Table:
         stops and the accumulated log is pruned immediately.  Consumers
         that cannot name an owner may still call :meth:`delta_state`
         directly, at the cost of journaling for the table's lifetime.
+
+        Positionless owners block eager prefix pruning (the table
+        cannot know how far they have read); cursor-based consumers
+        (:meth:`delta_cursor`) should be preferred.
         """
         self._log_consumers.append(
             weakref.ref(owner, self._on_consumer_collected)
         )
         self._log_enabled = True
+
+    def delta_cursor(self) -> DeltaCursor:
+        """A new :class:`DeltaCursor` positioned at the journal's end.
+
+        The cursor doubles as the journal-lifetime token: the table
+        holds it weakly, exactly like :meth:`register_delta_consumer`
+        owners, and additionally uses live cursor positions to prune
+        the consumed journal prefix eagerly."""
+        cursor = DeltaCursor(self)
+        self._log_consumers.append(
+            weakref.ref(cursor, self._on_consumer_collected)
+        )
+        self._log_enabled = True
+        return cursor
 
     def _on_consumer_collected(self, ref: weakref.ref) -> None:
         try:
@@ -183,6 +238,7 @@ class Table:
             pass
         if not self._log_consumers:
             self._log_enabled = False
+            self._log_base += len(self._log)
             self._log.clear()
             self._log_epoch += 1
 
@@ -193,24 +249,89 @@ class Table:
         never needed (a consumer always full-builds from :attr:`rows`
         before taking its first marker)."""
         self._log_enabled = True
-        return self._log_epoch, len(self._log)
+        return self._log_epoch, self._log_base + len(self._log)
 
     def delta_since(
         self, epoch: int, position: int
     ) -> Optional[list[tuple[bool, tuple]]]:
         """Journal entries appended since ``(epoch, position)``, or
-        ``None`` when that span is gone (compaction) and the consumer
+        ``None`` when that span is gone (truncation) and the consumer
         must rebuild from :attr:`rows`."""
-        if epoch != self._log_epoch or position > len(self._log):
+        end = self._log_base + len(self._log)
+        if (
+            epoch != self._log_epoch
+            or position < self._log_base
+            or position > end
+        ):
             return None
-        return self._log[position:]
+        return self._log[position - self._log_base:]
+
+    def _take_since(
+        self, cursor: DeltaCursor
+    ) -> Optional[list[tuple[bool, tuple]]]:
+        end = self._log_base + len(self._log)
+        if cursor.epoch != self._log_epoch or cursor.position < self._log_base:
+            cursor.epoch = self._log_epoch
+            cursor.position = end
+            self._prune_consumed()
+            return None
+        entries = self._log[cursor.position - self._log_base:]
+        cursor.position = end
+        if entries:
+            self._prune_consumed()
+        return entries
+
+    def _prune_consumed(self) -> None:
+        """Drop the journal prefix every live consumer has consumed.
+
+        O(consumers) per take — consumers are a handful of plans, not
+        rows.  Skipped while any positionless (legacy) owner is
+        registered, since the table cannot see how far it has read."""
+        low: Optional[int] = None
+        for ref in self._log_consumers:
+            consumer = ref()
+            if consumer is None:
+                continue
+            if not isinstance(consumer, DeltaCursor):
+                return  # positionless owner: prefix may still be needed
+            if consumer.epoch != self._log_epoch:
+                return  # stale cursor; its next take() resynchronizes
+            position = (
+                consumer.position if low is None
+                else min(low, consumer.position)
+            )
+            low = position
+        if low is None:
+            return
+        drop = low - self._log_base
+        if drop > 0:
+            del self._log[:drop]
+            self._log_base = low
 
     def _maybe_compact_log(self) -> None:
-        # Keep the journal bounded: once it dwarfs the live row count it
-        # is cheaper for any laggard consumer to rebuild than to replay.
+        # Keep the journal bounded: once it dwarfs the live row count,
+        # someone is lagging and it is cheaper for *that* consumer to
+        # rebuild than to replay.  Truncate up to the freshest live
+        # cursor — up-to-date consumers stay valid; only laggards (and
+        # positionless legacy owners) are forced to rebuild.
+        if len(self._log) <= max(256, 4 * len(self._rows)):
+            return
+        high = self._log_base
+        for ref in self._log_consumers:
+            consumer = ref()
+            if (
+                isinstance(consumer, DeltaCursor)
+                and consumer.epoch == self._log_epoch
+            ):
+                high = max(high, consumer.position)
+        drop = high - self._log_base
+        if drop > 0:
+            del self._log[:drop]
+            self._log_base = high
         if len(self._log) > max(256, 4 * len(self._rows)):
+            # Even the freshest cursor lags beyond the bound: drop all.
+            self._log_base += len(self._log)
             self._log.clear()
-            self._log_epoch += 1
 
     # -- indexing ---------------------------------------------------------
 

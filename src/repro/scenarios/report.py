@@ -48,6 +48,35 @@ def _recovery_row(entry: CellResult) -> list[object]:
     ]
 
 
+def _delta_rows(outcome: ScenarioResult) -> list[list[object]]:
+    """Delta-maintenance counters for cells whose backend keeps
+    incrementally maintained state.  Counts only — the wall-clock
+    ``maintain_s`` timers stay out of the report so same-seed runs
+    remain byte-identical (CI diffs these reports)."""
+    rows = []
+    for entry in outcome.cells:
+        stats = entry.result.delta_maintenance
+        if not stats:
+            continue
+        steps = stats.get("steps", 0)
+        inserts = stats.get("inserts", 0)
+        retracts = stats.get("retracts", 0)
+        per_step = (inserts + retracts) / steps if steps else 0.0
+        rows.append(
+            [
+                entry.cell.label,
+                steps,
+                inserts,
+                retracts,
+                round(per_step, 2),
+                stats.get("rebuilds", 0),
+                stats.get("cache_hits", 0),
+                stats.get("cache_misses", 0),
+            ]
+        )
+    return rows
+
+
 def _tier_rows(outcome: ScenarioResult) -> list[list[object]]:
     rows = []
     for entry in outcome.cells:
@@ -90,6 +119,16 @@ def render_scenario_report(outcome: ScenarioResult) -> str:
         [_cell_row(entry) for entry in outcome.cells],
     )
     parts = [header, table]
+    delta_rows = _delta_rows(outcome)
+    if delta_rows:
+        parts.append(
+            render_table(
+                ["cell", "steps", "inserts", "retracts", "delta/step",
+                 "rebuilds", "plan hits", "plan misses"],
+                delta_rows,
+                title="delta maintenance",
+            )
+        )
     if spec.is_chaos:
         parts.append(
             render_table(

@@ -50,6 +50,8 @@ class ScenarioResult:
     seed: int
     duration: float
     clients: int
+    #: Backend override applied to every cell (None = each cell's own).
+    backend: Optional[str] = None
     cells: list[CellResult] = field(default_factory=list)
 
     def cell(self, label: str) -> CellResult:
@@ -66,11 +68,20 @@ class ScenarioResult:
         ]
 
 
-def build_cell_protocol(cell: ScenarioCell, clients: int) -> Protocol:
-    """Resolve a cell's protocol string into a live Protocol object."""
+def build_cell_protocol(
+    cell: ScenarioCell, clients: int, backend: Optional[str] = None
+) -> Protocol:
+    """Resolve a cell's protocol string into a live Protocol object.
+
+    ``backend`` (the CLI ``--backend`` flag) overrides the cell's own
+    backend choice, so any scenario can be re-run on a different
+    execution engine — byte-identical traces are the cross-backend
+    equivalence check.
+    """
+    resolved = backend if backend is not None else cell.backend
     name = cell.protocol
     if name.startswith("sla:"):
-        return SLAOrderingProtocol(build_protocol(name[4:], cell.backend))
+        return SLAOrderingProtocol(build_protocol(name[4:], resolved))
     if name.startswith("adaptive:"):
         strict_name, _, relaxed_name = name[len("adaptive:"):].partition(",")
         if not relaxed_name:
@@ -79,12 +90,12 @@ def build_cell_protocol(cell: ScenarioCell, clients: int) -> Protocol:
                 f"got {name!r}"
             )
         return AdaptiveConsistencyProtocol(
-            strict=build_protocol(strict_name, cell.backend),
-            relaxed=build_protocol(relaxed_name, cell.backend),
+            strict=build_protocol(strict_name, resolved),
+            relaxed=build_protocol(relaxed_name, resolved),
             high_watermark=max(2, clients),
             low_watermark=max(1, clients // 4),
         )
-    return build_protocol(name, cell.backend)
+    return build_protocol(name, resolved)
 
 
 def run_scenario(
@@ -97,12 +108,15 @@ def run_scenario(
     cost_model: CostModel = PAPER_CALIBRATION,
     scheduler_cost: SchedulerCostModel = SchedulerCostModel(),
     check_invariants: bool = False,
+    backend: Optional[str] = None,
 ) -> ScenarioResult:
     """Run every cell of *spec* under the virtual clock.
 
     ``seed``/``duration``/``clients`` override the spec's defaults (the
     CLI flags); all cells share them, so sweep cells see the identical
-    workload draw.
+    workload draw.  ``backend`` overrides every cell's execution
+    backend (the ``--backend`` flag); the recorded trace header carries
+    it so replays re-run on the same engine.
 
     With ``check_invariants``, every cell runs under an
     :class:`~repro.faults.invariants.InvariantMonitor`; a violation
@@ -126,10 +140,14 @@ def run_scenario(
     )
 
     outcome = ScenarioResult(
-        spec=spec, seed=seed, duration=duration, clients=clients
+        spec=spec,
+        seed=seed,
+        duration=duration,
+        clients=clients,
+        backend=backend,
     )
     for cell in spec.cells:
-        protocol = build_cell_protocol(cell, clients)
+        protocol = build_cell_protocol(cell, clients, backend=backend)
         simulation = MiddlewareSimulation(
             protocol=protocol,
             trigger=cell.trigger.build(),
@@ -175,6 +193,7 @@ def record_scenario(
     duration: Optional[float] = None,
     clients: Optional[int] = None,
     check_invariants: bool = False,
+    backend: Optional[str] = None,
 ) -> ScenarioResult:
     """Run with trace recording on and persist the dispatch log plus the
     header needed to re-run it (:func:`replay_scenario`)."""
@@ -185,17 +204,17 @@ def record_scenario(
         clients=clients,
         record=True,
         check_invariants=check_invariants,
+        backend=backend,
     )
-    write_trace_file(
-        path,
-        outcome.traces(),
-        header={
-            "scenario": spec.name,
-            "seed": outcome.seed,
-            "duration": outcome.duration,
-            "clients": outcome.clients,
-        },
-    )
+    header = {
+        "scenario": spec.name,
+        "seed": outcome.seed,
+        "duration": outcome.duration,
+        "clients": outcome.clients,
+    }
+    if backend is not None:
+        header["backend"] = backend
+    write_trace_file(path, outcome.traces(), header=header)
     return outcome
 
 
@@ -230,6 +249,7 @@ def replay_scenario(path) -> ReplayOutcome:
         duration=float(header["duration"]),
         clients=int(header["clients"]),
         record=True,
+        backend=header.get("backend") or None,
     )
     produced = {label: trace for label, trace in outcome.traces()}
     recorded_map = {label: trace for label, trace in recorded}

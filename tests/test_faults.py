@@ -286,6 +286,33 @@ class TestSchedulerRecovery:
             scheduler.submit(r, 0.8)
         assert scheduler.step(0.8).batch_size == 1
 
+    def test_empty_pending_fast_path_still_reaps_orphans(self):
+        """Regression: with incoming and pending both empty, should_run
+        used to return False unconditionally — so a driver gating steps
+        on it never ran the recovery sweep, and an orphaned transaction
+        whose client died after dispatch held its locks forever."""
+        policy = RecoveryPolicy(request_timeout=10.0, orphan_lease=0.5)
+        scheduler = DeclarativeScheduler.for_spec("ss2pl", recovery=policy)
+        txn = make_transaction(1, [("w", 5)], terminate="", start_id=1)
+        for r in txn:
+            scheduler.submit(r, 0.0)
+        assert scheduler.step(0.0).batch_size == 1
+        assert len(scheduler.pending) == 0 and len(scheduler.incoming) == 0
+        scheduler.note_client_crashed(0, 0.1)
+        # Lease not yet expired: the empty fast path stays idle.
+        assert not scheduler.should_run(0.3)
+        # Lease expired: the trigger must fire so the sweep can reap.
+        assert scheduler.should_run(0.7)
+        step = scheduler.step(0.7)
+        assert [ta for ta, __ in step.recovery.orphans] == [1]
+        # Reaped: back to idle, no busy loop.
+        assert not scheduler.should_run(0.8)
+        # The lock is actually released for the next writer.
+        t2 = make_transaction(2, [("w", 5)], terminate="", start_id=10)
+        for r in t2:
+            scheduler.submit(r, 0.9)
+        assert scheduler.step(0.9).batch_size == 1
+
     def test_recovered_client_new_transactions_not_reaped(self):
         policy = RecoveryPolicy(request_timeout=10.0, orphan_lease=0.5)
         scheduler = DeclarativeScheduler.for_spec("ss2pl", recovery=policy)

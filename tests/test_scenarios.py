@@ -108,6 +108,35 @@ class TestRunner:
         second = render_scenario_report(run_scenario(spec, **QUICK))
         assert first == second
 
+    def test_backend_override_keeps_dispatches_and_reports_deltas(self):
+        # `--backend compiled-delta` must change only the engine: the
+        # dispatch log stays byte-identical to the default run, and the
+        # report gains the deterministic delta-maintenance table.
+        spec = get_scenario("smoke")
+        base = run_scenario(spec, record=True, **QUICK)
+        delta = run_scenario(
+            spec, record=True, backend="compiled-delta", **QUICK
+        )
+        assert canonical_entries_of(base) == canonical_entries_of(delta)
+        report = render_scenario_report(delta)
+        assert "delta maintenance" in report
+        assert "delta maintenance" not in render_scenario_report(base)
+        stats = delta.cells[0].result.delta_maintenance
+        assert stats["steps"] > 0 and stats["rebuilds"] == 1
+        # Deterministic counts: a re-run renders the identical report.
+        again = run_scenario(spec, backend="compiled-delta", **QUICK)
+        assert render_scenario_report(again) == report
+
+    def test_recorded_backend_header_round_trips_through_replay(
+        self, tmp_path
+    ):
+        path = tmp_path / "delta.trace"
+        record_scenario(
+            get_scenario("smoke"), path, backend="compiled-delta", **QUICK
+        )
+        outcome = replay_scenario(path)
+        assert outcome.matches
+
     def test_seed_changes_the_run(self):
         spec = get_scenario("smoke")
         base = run_scenario(spec, seed=1, **QUICK)

@@ -50,6 +50,35 @@ class TestDeclaredSupportIsExact:
             f"lowerable {sorted(actually_lowered)}"
         )
 
+    def test_compiled_delta_declared_support_is_exactly_this(self):
+        # Pin the compiled-delta skip list explicitly: the backend runs
+        # every spec with a relalg/sql dialect whose plan lowers to
+        # delta operators, and refuses the rest.  A new spec landing in
+        # the wrong bucket (silently skipped, or silently accepted with
+        # an unmaintainable plan) fails here by name.
+        runs = {
+            name
+            for name in ALL_SPECS
+            if "compiled-delta" in supported_backends(SPEC_REGISTRY[name])
+        }
+        expected = {
+            "exclusive",
+            "fcfs",
+            "priority-ceiling",
+            "read-committed",
+            "ss2pl",
+            "ss2pl-listing1",
+        }
+        assert runs == expected
+        # The two refusals have structural reasons: no relalg/sql
+        # dialect at all (datalog- or imperative-only specs).
+        for name in sorted(set(ALL_SPECS) - runs):
+            spec = SPEC_REGISTRY[name]
+            assert not ({"relalg", "sql"} & spec.dialects()) or name in (
+                "bounded-oversell",
+                "c2pl",
+            )
+
     def test_matrix_is_wide(self):
         # The refactor's acceptance floor: >= 8 specs, and the flagship
         # specs run on >= 4 backends each.

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Perf smoke: the asyncio serving layer, wall-clock requests/sec.
+
+Writes ``BENCH_serve.json`` at the repository root (or to ``--output``)
+so successive changes to the serving layer leave a comparable perf
+trajectory.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --min-rps 1000
+
+Each point boots a :class:`~repro.serve.service.SchedulerService` over
+the ``ss2pl`` spec (Listing 1 + program-order gating — pipelined
+sessions need the gate) on the ``compiled-delta`` backend and replays a
+seeded scenario workload (``zipf-hotspot`` and ``bursty-arrivals``)
+through the pooled session client.  The workload *content* is fully
+determined by ``(workload, seed)``; wall-clock interleaving across
+sessions is not, so the artefact records throughput and grant-latency
+percentiles (p50/p99/p99.9), not batch sequences.  Every run asserts
+request-lifecycle totality (zero lost requests) via the invariant
+monitor before reporting a number.
+
+``--min-rps`` (default 0 = no gate) fails the run when any point's
+requests/sec lands below the bar; CI records the artefact non-gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import repro.api as api  # noqa: E402
+from repro.scenarios import get_scenario  # noqa: E402
+from repro.serve import drive_workload, generate_profiles  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_serve.json"
+)
+
+WORKLOADS = ("zipf-hotspot", "bursty-arrivals")
+PROTOCOL = "ss2pl"
+BACKEND = "compiled-delta"
+TRIGGER = "hybrid:0.005,16"
+
+
+def transactions_for(workload, seed: int, requests: int) -> int:
+    """Seeded sizing: transactions whose statements + commits reach
+    *requests* (the same profile draw drive_workload replays)."""
+    transactions = 0
+    planned = 0
+    while planned < requests:
+        transactions += 8
+        profiles = generate_profiles(workload, seed, transactions)
+        planned = sum(len(profile) + 1 for profile in profiles)
+    return transactions
+
+
+async def measure_point(
+    name: str, requests: int, sessions: int, pipeline: int, seed: int
+) -> dict:
+    scenario = get_scenario(name)
+    transactions = transactions_for(scenario.workload, seed, requests)
+    service = api.open_service(
+        PROTOCOL,
+        BACKEND,
+        trigger=TRIGGER,
+        max_sessions=sessions,
+        max_pipeline=pipeline,
+        check_invariants=True,
+    )
+    async with service:
+        report = await drive_workload(
+            service,
+            scenario.workload,
+            transactions=transactions,
+            sessions=sessions,
+            seed=seed,
+        )
+        final = service.final_check()
+    stats = service.stats()
+    lost = stats["submitted"] - stats["granted"] - sum(
+        stats["rejected"].values()
+    )
+    if lost != 0:
+        raise AssertionError(f"{name}: {lost} requests lost")
+    latency = stats["grant_latency_s"]
+    return {
+        "workload": name,
+        "seed": seed,
+        "transactions": transactions,
+        "sessions": sessions,
+        "pipeline": pipeline,
+        "requests": stats["submitted"],
+        "granted": stats["granted"],
+        "rejected": stats["rejected"],
+        "committed": report.committed,
+        "aborted": report.aborted,
+        "duration_s": round(stats["duration_s"], 6),
+        "requests_per_s": round(stats["grants_per_s"], 1),
+        "steps": stats["steps"],
+        "grant_latency_ms": {
+            "p50": round(latency["p50"] * 1e3, 4),
+            "p99": round(latency["p99"] * 1e3, 4),
+            "p99.9": round(latency["p99.9"] * 1e3, 4),
+            "max": round(latency["max"] * 1e3, 4),
+        },
+        "final_states": final,
+    }
+
+
+def run_bench(requests: int, sessions: int, pipeline: int, seed: int) -> dict:
+    points = []
+    for name in WORKLOADS:
+        point = asyncio.run(
+            measure_point(name, requests, sessions, pipeline, seed)
+        )
+        points.append(point)
+    return {
+        "bench": "serve",
+        "protocol": PROTOCOL,
+        "backend": BACKEND,
+        "trigger": TRIGGER,
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--pipeline", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--min-rps", type=float, default=0.0,
+        help="fail (exit 1) when any point's requests/sec is below this "
+        "(default 0: record only)",
+    )
+    args = parser.parse_args(argv)
+
+    artefact = run_bench(
+        args.requests, args.sessions, args.pipeline, args.seed
+    )
+    for point in artefact["points"]:
+        latency = point["grant_latency_ms"]
+        print(
+            f"{point['workload']:16s} {point['requests']:5d} requests  "
+            f"{point['requests_per_s']:9.1f} req/s  "
+            f"p50 {latency['p50']:7.3f} ms  "
+            f"p99.9 {latency['p99.9']:7.3f} ms  "
+            f"({point['committed']} committed, {point['aborted']} aborted)"
+        )
+    args.output.write_text(
+        json.dumps(artefact, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nwrote {args.output}")
+    if args.min_rps > 0:
+        slow = [
+            point
+            for point in artefact["points"]
+            if point["requests_per_s"] < args.min_rps
+        ]
+        if slow:
+            for point in slow:
+                print(
+                    f"FAIL: {point['workload']} at "
+                    f"{point['requests_per_s']:.1f} req/s "
+                    f"< {args.min_rps:.0f}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"all points >= {args.min_rps:.0f} req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 """E11 — incremental view maintenance vs. per-step recomputation."""
 
 from repro.bench.incremental_ablation import drive_steps, run_incremental_ablation
-from repro.protocols.ss2pl import PaperListing1Protocol
-from repro.protocols.ss2pl_incremental import SS2PLIncrementalProtocol
+from repro.protocols.legacy import PaperListing1Protocol
+from repro.protocols.legacy import SS2PLIncrementalProtocol
 
 from benchmarks.conftest import emit
 

@@ -6,7 +6,7 @@ from repro.bench.triggers_ablation import (
 )
 from repro.core.simulation import MiddlewareSimulation
 from repro.core.triggers import FillLevelTrigger, TimeLapseTrigger
-from repro.protocols.ss2pl import SS2PLRelalgProtocol
+from repro.protocols.legacy import SS2PLRelalgProtocol
 
 from benchmarks.conftest import emit
 

@@ -4,8 +4,8 @@ from repro.bench.productivity import run_productivity
 from repro.baselines.imperative import ImperativeSS2PLScheduler
 from repro.bench.productivity import _code_lines
 from repro.lang.protocol import SDLProtocol, SDL_SS2PL
-from repro.protocols.ss2pl import PaperListing1Protocol
-from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol
+from repro.protocols.legacy import PaperListing1Protocol
+from repro.protocols.legacy import SS2PLDatalogProtocol
 
 from benchmarks.conftest import emit
 

@@ -14,7 +14,7 @@ from repro.bench.declarative_overhead import (
     run_declarative_overhead,
 )
 from repro.core.scheduler import DeclarativeScheduler, SchedulerConfig
-from repro.protocols.ss2pl import PaperListing1Protocol
+from repro.protocols.legacy import PaperListing1Protocol
 
 from benchmarks.conftest import emit
 

@@ -11,7 +11,8 @@ and watch the protocol throttle exactly the overfull one.
 Run:  python examples/custom_consistency.py
 """
 
-from repro import DeclarativeScheduler, SchedulerConfig
+import repro.api as api
+from repro import SchedulerConfig
 from repro.model.request import Operation, Request
 from repro.protocols.app_consistency import BoundedOversellProtocol
 
@@ -27,7 +28,9 @@ def main() -> None:
     protocol = BoundedOversellProtocol(allowance=3)
     print("protocol rules:\n" + protocol.declarative_source)
 
-    scheduler = DeclarativeScheduler(
+    # Custom protocol instances route through the same public surface
+    # as registry names.
+    scheduler = api.make_scheduler(
         protocol, config=SchedulerConfig(prune_history=False)
     )
 

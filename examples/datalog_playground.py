@@ -12,7 +12,8 @@ This example defines a custom protocol two ways and runs both:
 Run:  python examples/datalog_playground.py
 """
 
-from repro import DeclarativeScheduler, SDLProtocol, SDL_SS2PL, make_transaction
+import repro.api as api
+from repro import SDLProtocol, SDL_SS2PL, make_transaction
 from repro.datalog import Database, Program, evaluate
 from repro.model.request import Request
 from repro.protocols.base import Protocol, ProtocolDecision
@@ -51,7 +52,7 @@ class ExclusiveWriterProtocol(Protocol):
 
 def drive(protocol: Protocol) -> None:
     print(f"--- {protocol.name}: {protocol.description}")
-    scheduler = DeclarativeScheduler(protocol)
+    scheduler = api.make_scheduler(protocol)
     # Two open writers on different objects plus one open reader —
     # clients submit their commits later, like real sessions.
     for txn in (

@@ -10,10 +10,9 @@ analyzers.
 Run:  python examples/quickstart.py
 """
 
+import repro.api as api
 from repro import (
-    DeclarativeScheduler,
     Schedule,
-    SS2PLRelalgProtocol,
     is_conflict_serializable,
     is_strict,
     make_transaction,
@@ -21,7 +20,9 @@ from repro import (
 
 
 def main() -> None:
-    scheduler = DeclarativeScheduler(SS2PLRelalgProtocol())
+    # The one public construction surface: spec name (+ optional
+    # backend/trigger strings), same spellings as the CLI flags.
+    scheduler = api.make_scheduler("ss2pl")
 
     # Three transactions; T1 and T2 conflict on object 10, T3 is disjoint.
     t1 = make_transaction(1, [("r", 10), ("w", 10)], start_id=1)

@@ -10,13 +10,8 @@ per-tier response times.
 Run:  python examples/sla_tiers.py
 """
 
-from repro import (
-    HybridTrigger,
-    MiddlewareSimulation,
-    SLAOrderingProtocol,
-    SS2PLRelalgProtocol,
-    WorkloadSpec,
-)
+import repro.api as api
+from repro import HybridTrigger, MiddlewareSimulation, WorkloadSpec
 from repro.workload.clients import ClientPopulation, SLA_TIERS
 
 
@@ -42,10 +37,8 @@ def main() -> None:
     population = ClientPopulation(SLA_TIERS)
     print(f"population of 40 clients: {population.counts(40)}\n")
 
-    base = run("ss2pl (no SLA layer)", SS2PLRelalgProtocol(), population)
-    sla = run(
-        "sla(ss2pl)", SLAOrderingProtocol(SS2PLRelalgProtocol()), population
-    )
+    base = run("ss2pl (no SLA layer)", api.make_protocol("ss2pl"), population)
+    sla = run("sla(ss2pl)", api.make_protocol("sla:ss2pl"), population)
 
     improvement = (
         base.mean_response("premium") - sla.mean_response("premium")

@@ -6,21 +6,29 @@ and historical requests are data and scheduling protocols are queries.
 
 Quickstart
 ----------
->>> from repro import DeclarativeScheduler, SS2PLRelalgProtocol, make_transaction
->>> scheduler = DeclarativeScheduler(SS2PLRelalgProtocol())
+>>> import repro.api as api
+>>> from repro import make_transaction
+>>> scheduler = api.make_scheduler("ss2pl")
 >>> for request in make_transaction(1, [("r", 10), ("w", 10)], start_id=1):
 ...     scheduler.submit(request)
 >>> batch = scheduler.step().qualified
 >>> [str(r) for r in batch]
 ['r1[10]', 'w1[10]', 'c1']
 
+:mod:`repro.api` is the documented construction surface — protocols,
+triggers, schedulers, and the asyncio serving layer all build through
+it (``api.open_service("ss2pl", "compiled-delta")``).  The class
+re-exports below remain for compatibility.
+
 Package map (see DESIGN.md for the full inventory):
 
+- :mod:`repro.api` — the public construction surface
 - :mod:`repro.core` — the middleware scheduler (Figure 1)
 - :mod:`repro.protocols` — declarative protocols (SS2PL/Listing 1, 2PL
   variants, SLA, relaxed, application-specific, adaptive)
 - :mod:`repro.relalg` / :mod:`repro.datalog` / :mod:`repro.lang` /
   :mod:`repro.sqlbridge` — the four declarative backends
+- :mod:`repro.serve` — the asyncio serving layer (pooled sessions)
 - :mod:`repro.server` — the simulated DBMS with its native scheduler
 - :mod:`repro.workload`, :mod:`repro.sim`, :mod:`repro.metrics` —
   workloads, virtual time, measurement
@@ -63,10 +71,12 @@ from repro.protocols import (
 from repro.lang import SDLProtocol, SDL_SS2PL, SDL_READ_COMMITTED
 from repro.server import BatchServer, CostModel, SimulatedDBMS
 from repro.workload import PAPER_WORKLOAD, WorkloadSpec
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "Operation",
     "Request",
     "RequestAttributes",

@@ -179,7 +179,7 @@ def table1_rows(include_ours: bool = True) -> list[tuple[str, str, str, str, str
         for approach in RELATED_APPROACHES
     ]
     if include_ours:
-        from repro.protocols.ss2pl import SS2PLRelalgProtocol
+        from repro.protocols.legacy import SS2PLRelalgProtocol
 
         ours = SS2PLRelalgProtocol().capabilities
         rows.append(("Declarative scheduler (this work)", *ours.as_row()))

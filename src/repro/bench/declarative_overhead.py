@@ -27,7 +27,7 @@ from repro.core.triggers import FillLevelTrigger
 from repro.metrics.reporting import ComparisonRow, render_comparison, render_table
 from repro.model.request import Operation, Request
 from repro.protocols.base import Protocol
-from repro.protocols.ss2pl import PaperListing1Protocol
+from repro.protocols.legacy import PaperListing1Protocol
 
 #: The paper's Section 4.3.2 anchor numbers.
 PAPER_OVERHEAD = {

@@ -14,14 +14,15 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.scheduler import DeclarativeScheduler, SchedulerConfig
-from repro.core.triggers import FillLevelTrigger
+from repro.core.triggers import FillLevelTrigger, TriggerPolicy
 from repro.metrics.reporting import render_table
 from repro.model.request import NO_OBJECT, Operation, Request
 from repro.protocols.base import Protocol
-from repro.protocols.ss2pl import PaperListing1Protocol
-from repro.protocols.ss2pl_incremental import SS2PLIncrementalProtocol
+from repro.protocols.legacy import PaperListing1Protocol
+from repro.protocols.legacy import SS2PLIncrementalProtocol
 
 
 @dataclass
@@ -43,6 +44,7 @@ def drive_steps(
     ops_per_txn: int = 20,
     table_rows: int = 100_000,
     seed: int = 13,
+    trigger: Optional[TriggerPolicy] = None,
 ) -> StepDriverResult:
     """Run *steps* scheduler steps over a closed client population.
 
@@ -51,11 +53,17 @@ def drive_steps(
     batch-evaluates and history evolves — exactly the load pattern that
     separates O(batch) incremental maintenance from O(history)
     recomputation.
+
+    With an explicit ``trigger`` the driver becomes trigger-paced: each
+    iteration is one virtual second, and the scheduler only steps when
+    the policy fires (requests accumulate otherwise, recorded as an
+    empty batch).  The default keeps the historical fire-every-
+    iteration behavior.
     """
     rng = random.Random(seed)
     scheduler = DeclarativeScheduler(
         protocol,
-        trigger=FillLevelTrigger(1),
+        trigger=trigger if trigger is not None else FillLevelTrigger(1),
         config=SchedulerConfig(prune_history=True),
     )
     next_id = 1
@@ -75,7 +83,7 @@ def drive_steps(
     batches: list[tuple[int, ...]] = []
     total_qualified = 0
     started = time.perf_counter()
-    for __ in range(steps):
+    for step_index in range(steps):
         for state in states:
             if state.ta in outstanding:
                 continue  # previous request still pending (blocked)
@@ -90,8 +98,16 @@ def drive_steps(
                 )
             outstanding.add(state.ta)
             next_id += 1
-            scheduler.submit(request)
-        result = scheduler.step()
+            scheduler.submit(
+                request, now=float(step_index) if trigger is not None else None
+            )
+        if trigger is not None:
+            if not scheduler.should_run(now=float(step_index)):
+                batches.append(())
+                continue
+            result = scheduler.step(now=float(step_index))
+        else:
+            result = scheduler.step()
         total_qualified += result.batch_size
         batches.append(tuple(r.id for r in result.qualified))
         for request in result.qualified:

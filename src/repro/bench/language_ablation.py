@@ -22,10 +22,10 @@ from repro.core.stores import HistoryStore, PendingStore
 from repro.lang.protocol import SDLProtocol, SDL_SS2PL
 from repro.metrics.reporting import render_table
 from repro.protocols.base import Protocol
-from repro.protocols.ss2pl import PaperListing1Protocol
-from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol
-from repro.protocols.ss2pl_sql import SS2PLSqlProtocol
-from repro.protocols.ss2pl_sqlfront import SqlFrontendSS2PLProtocol
+from repro.protocols.legacy import PaperListing1Protocol
+from repro.protocols.legacy import SS2PLDatalogProtocol
+from repro.protocols.legacy import SS2PLSqlProtocol
+from repro.protocols.legacy import SqlFrontendSS2PLProtocol
 
 
 def backends() -> list[tuple[str, Protocol]]:

@@ -27,8 +27,15 @@ def run_backend_matrix(
     seed: int = 13,
     backends: Optional[Sequence[str]] = None,
     specs: Optional[Sequence[str]] = None,
+    trigger: Optional[str] = None,
 ) -> str:
-    """Per-step cost (ms) for every supported spec × backend pairing."""
+    """Per-step cost (ms) for every supported spec × backend pairing.
+
+    ``trigger`` (a :func:`repro.api.make_trigger` spelling) makes every
+    cell's driver trigger-paced instead of fire-every-iteration; each
+    cell gets a fresh policy instance so trigger state never leaks
+    between pairings.
+    """
     backend_columns = list(backends) if backends else sorted(BACKEND_REGISTRY)
     spec_rows = list(specs) if specs else sorted(SPEC_REGISTRY)
 
@@ -43,9 +50,15 @@ def run_backend_matrix(
             if backend_name not in supported:
                 cells.append("--")
                 continue
+            cell_trigger = None
+            if trigger is not None:
+                import repro.api as api
+
+                cell_trigger = api.make_trigger(trigger)
             result = drive_steps(
                 build_protocol(spec_name, backend_name),
                 clients=clients, steps=steps, seed=seed,
+                trigger=cell_trigger,
             )
             if reference_batches is None:
                 reference_batches = result.batches

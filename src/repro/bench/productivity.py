@@ -17,8 +17,8 @@ from repro.lang.protocol import SDLProtocol, SDL_SS2PL, SDL_READ_COMMITTED
 from repro.metrics.reporting import render_table
 from repro.protocols.app_consistency import BoundedOversellProtocol
 from repro.protocols.relaxed import ReadCommittedProtocol
-from repro.protocols.ss2pl import PaperListing1Protocol
-from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol
+from repro.protocols.legacy import PaperListing1Protocol
+from repro.protocols.legacy import SS2PLDatalogProtocol
 
 
 def _code_lines(obj) -> int:

@@ -13,23 +13,30 @@ Usage::
     python -m repro scenario run zipf-hotspot --seed 7
     python -m repro scenario run smoke --record smoke.trace
     python -m repro scenario run smoke --backend compiled-delta
+    python -m repro scenario run smoke --trigger fill:20
     python -m repro scenario replay smoke.trace
     python -m repro scenario compare trigger-sweep matrix-sweep
+    python -m repro serve --backend compiled-delta   # asyncio serving layer
     python -m repro demo                 # the quickstart scenario
     python -m repro sql "SELECT ..."     # ad-hoc SQL over demo tables
 
 Every experiment id maps to the corresponding ``repro.bench.run_*``
 function; ``--quick`` substitutes scaled-down parameters so the whole
-suite finishes in well under a minute.  ``--backend`` selects the
-execution backend for the backend-parameterizable experiments
-(E13/E14) and for ``bench``/``demo``; any protocol spec runs on any
-backend that supports it.
+suite finishes in well under a minute.
+
+The ``--protocol`` / ``--backend`` / ``--trigger`` flags are spelled,
+defaulted and validated identically on every subcommand that takes them
+(shared argparse parent parsers); all construction funnels through
+:mod:`repro.api`, so a spec × backend pairing a backend declares
+unsupported fails fast with the declared reason instead of falling
+back silently.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.bench import (
@@ -51,34 +58,51 @@ from repro.bench import (
 )
 from repro.protocols.base import PROTOCOL_REGISTRY
 
-#: Experiment ids whose runners accept a ``backend=`` keyword.
+
+@dataclass(frozen=True)
+class RunOptions:
+    """The normalized cross-cutting flags handed to experiment runners."""
+
+    protocol: Optional[str] = None
+    backend: Optional[str] = None
+    trigger: Optional[str] = None
+
+
+#: Experiment ids whose runners honour ``--backend``.
 BACKEND_AWARE = frozenset({"E13", "E14"})
+#: Experiment ids whose runners honour ``--protocol``.
+PROTOCOL_AWARE = frozenset({"E13", "E14"})
+#: Experiment ids whose runners honour ``--trigger``.
+TRIGGER_AWARE = frozenset({"E14"})
+#: The spec a backend-aware experiment drives when ``--protocol`` is
+#: not given — what ``--backend`` must support (fail-fast pairing).
+DEFAULT_SPEC_OF = {"E13": "ss2pl"}
 
 #: experiment id -> (description, full-scale runner, quick runner).
-#: Runners take ``backend`` (ignored unless the id is in
-#: :data:`BACKEND_AWARE`; ``None`` means the experiment's default).
+#: Runners take a :class:`RunOptions` (ignored unless the id is in the
+#: ``*_AWARE`` sets above).
 EXPERIMENTS: Dict[
-    str, tuple[str, Callable[[Optional[str]], str], Callable[[Optional[str]], str]]
+    str, tuple[str, Callable[[RunOptions], str], Callable[[RunOptions], str]]
 ] = {
     "E1": (
         "Table 1: related-approach feature matrix",
-        lambda backend: run_table1(),
-        lambda backend: run_table1(),
+        lambda opts: run_table1(),
+        lambda opts: run_table1(),
     ),
     "E2": (
         "Table 2: request/history/rte schema",
-        lambda backend: run_table2(),
-        lambda backend: run_table2(),
+        lambda opts: run_table2(),
+        lambda opts: run_table2(),
     ),
     "E3": (
         "Figure 2: MU/SU ratio vs clients (native scheduler)",
-        lambda backend: run_figure2(duration=240.0),
-        lambda backend: run_figure2(client_counts=(1, 300, 500), duration=240.0),
+        lambda opts: run_figure2(duration=240.0),
+        lambda opts: run_figure2(client_counts=(1, 300, 500), duration=240.0),
     ),
     "E5": (
         "Section 4.3.2: declarative scheduling overhead",
-        lambda backend: run_declarative_overhead(include_compiled_comparison=True),
-        lambda backend: run_declarative_overhead(
+        lambda opts: run_declarative_overhead(include_compiled_comparison=True),
+        lambda opts: run_declarative_overhead(
             client_counts=(300, 500),
             repetitions=1,
             include_compiled_comparison=True,
@@ -86,60 +110,69 @@ EXPERIMENTS: Dict[
     ),
     "E6": (
         "Section 4.4: native-vs-declarative crossover",
-        lambda backend: run_crossover(),
-        lambda backend: run_crossover(client_counts=(300, 500), duration=240.0),
+        lambda opts: run_crossover(),
+        lambda opts: run_crossover(client_counts=(300, 500), duration=240.0),
     ),
     "E7": (
         "Ablation: trigger policies",
-        lambda backend: run_trigger_ablation(),
-        lambda backend: run_trigger_ablation(clients=20, duration=2.0),
+        lambda opts: run_trigger_ablation(),
+        lambda opts: run_trigger_ablation(clients=20, duration=2.0),
     ),
     "E8": (
         "Ablation: declarative language backends",
-        lambda backend: run_language_ablation(),
-        lambda backend: run_language_ablation(client_counts=(300,), repetitions=1),
+        lambda opts: run_language_ablation(),
+        lambda opts: run_language_ablation(client_counts=(300,), repetitions=1),
     ),
     "E9": (
         "Productivity: declarative vs imperative spec size",
-        lambda backend: run_productivity(),
-        lambda backend: run_productivity(),
+        lambda opts: run_productivity(),
+        lambda opts: run_productivity(),
     ),
     "E10": (
         "SLA tiers + adaptive consistency",
-        lambda backend: run_sla_bench() + "\n\n" + run_adaptive_bench(),
-        lambda backend: run_sla_bench(clients=20, duration=2.0)
+        lambda opts: run_sla_bench() + "\n\n" + run_adaptive_bench(),
+        lambda opts: run_sla_bench(clients=20, duration=2.0)
         + "\n\n"
         + run_adaptive_bench(clients=30, duration=2.0),
     ),
     "E11": (
         "Ablation: incremental view maintenance",
-        lambda backend: run_incremental_ablation(),
-        lambda backend: run_incremental_ablation(clients=80, steps=10),
+        lambda opts: run_incremental_ablation(),
+        lambda opts: run_incremental_ablation(clients=80, steps=10),
     ),
     "E12": (
         "Ablation: external MPL admission control",
-        lambda backend: run_mpl_ablation(),
-        lambda backend: run_mpl_ablation(duration=60.0, caps=(None, 300)),
+        lambda opts: run_mpl_ablation(),
+        lambda opts: run_mpl_ablation(duration=60.0, caps=(None, 300)),
     ),
     "E13": (
         "Ablation: interpreted pipeline vs compiled query plan",
-        lambda backend: render_scheduler_step_report(
-            run_scheduler_step_bench(backend=backend or "compiled")
+        lambda opts: render_scheduler_step_report(
+            run_scheduler_step_bench(
+                protocol=opts.protocol or "ss2pl",
+                backend=opts.backend or "compiled",
+            )
         ),
-        lambda backend: render_scheduler_step_report(
+        lambda opts: render_scheduler_step_report(
             run_scheduler_step_bench(
                 client_counts=(100, 300), steps=6,
-                backend=backend or "compiled",
+                protocol=opts.protocol or "ss2pl",
+                backend=opts.backend or "compiled",
             )
         ),
     ),
     "E14": (
         "Protocol × backend matrix: per-step cost, identical batches",
-        lambda backend: run_backend_matrix(
-            backends=[backend] if backend else None
+        lambda opts: run_backend_matrix(
+            backends=[opts.backend] if opts.backend else None,
+            specs=[opts.protocol] if opts.protocol else None,
+            trigger=opts.trigger,
         ),
-        lambda backend: run_backend_matrix(
-            clients=15, steps=6, backends=[backend] if backend else None
+        lambda opts: run_backend_matrix(
+            clients=15, steps=6,
+            backends=[opts.backend] if opts.backend else None,
+            specs=[opts.protocol] if opts.protocol else None,
+            trigger=opts.trigger,
         ),
     ),
 }
@@ -147,6 +180,124 @@ EXPERIMENTS: Dict[
 
 def _experiment_order(key: str) -> int:
     return int(key.lstrip("E"))
+
+
+# -- shared flag parents & validators ---------------------------------------
+#
+# One parent parser per cross-cutting flag, so --protocol/--backend/
+# --trigger are spelled, documented and validated identically on every
+# subcommand that takes them (run, bench, scenario run, serve, demo).
+
+
+class _UsageError(Exception):
+    """Validation failure already printed to stderr; main() exits 2."""
+
+
+def _protocol_parent(default: Optional[str] = None) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--protocol",
+        default=default,
+        help="protocol spec name (see `repro protocols`); combinators: "
+        "sla:<spec>, adaptive:<strict>,<relaxed>"
+        + (f" (default: {default})" if default else ""),
+    )
+    return parent
+
+
+def _backend_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend",
+        help="execution backend (default: the spec's own; "
+        "see `repro backends`)",
+    )
+    return parent
+
+
+def _trigger_parent(default: Optional[str] = None) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trigger",
+        default=default,
+        help="trigger policy: fill:<count>, time:<seconds>, or "
+        "hybrid:<seconds>,<count>"
+        + (f" (default: {default})" if default else ""),
+    )
+    return parent
+
+
+def _check_backend(backend: Optional[str]) -> Optional[str]:
+    """Exit code 2 with the valid choices on a bad backend name."""
+    if backend is None:
+        return None
+    from repro.backends import BACKEND_REGISTRY, backend_names
+
+    if backend not in BACKEND_REGISTRY:
+        print(
+            f"unknown backend {backend!r}; "
+            f"valid backends: {', '.join(backend_names())}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return backend
+
+
+def _check_protocol(protocol: Optional[str]) -> Optional[str]:
+    """Exit code 2 with the registered specs on a bad protocol name.
+
+    Combinator spellings (``sla:<spec>``, ``adaptive:<a>,<b>``) are
+    validated by their inner spec names.
+    """
+    if protocol is None:
+        return None
+    from repro.protocols.spec import SPEC_REGISTRY, spec_names
+
+    if ":" in protocol:
+        inner = protocol.split(":", 1)[1].split(",")
+    else:
+        inner = [protocol]
+    unknown = [name for name in inner if name not in SPEC_REGISTRY]
+    if unknown:
+        print(
+            f"unknown protocol {protocol!r}; "
+            f"registered specs: {', '.join(spec_names())}",
+            file=sys.stderr,
+        )
+        raise _UsageError
+    return protocol
+
+
+def _check_trigger(trigger: Optional[str]) -> Optional[str]:
+    """Exit code 2 with the accepted spellings on a bad trigger."""
+    if trigger is None:
+        return None
+    import repro.api as api
+
+    try:
+        api.make_trigger(trigger)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        raise _UsageError from error
+    return trigger
+
+
+def _check_pairing(protocol: Optional[str], backend: Optional[str]) -> None:
+    """Exit code 2 with the backend's declared skip reason when it
+    cannot run the chosen spec — never fall back silently."""
+    if protocol is None or backend is None:
+        return
+    import repro.api as api
+    from repro.backends import BackendError
+
+    try:
+        api.validate_pairing(protocol, backend)
+    except BackendError as error:
+        print(str(error), file=sys.stderr)
+        raise _UsageError from error
+
+
+# -- subcommands ------------------------------------------------------------
 
 
 def _cmd_list() -> int:
@@ -200,24 +351,10 @@ def _cmd_backends() -> int:
     return 0
 
 
-def _check_backend(backend: Optional[str]) -> Optional[str]:
-    """Exit code 2 with the valid choices on a bad backend name."""
-    if backend is None:
-        return None
-    from repro.backends import BACKEND_REGISTRY, backend_names
-
-    if backend not in BACKEND_REGISTRY:
-        print(
-            f"unknown backend {backend!r}; "
-            f"valid backends: {', '.join(backend_names())}",
-            file=sys.stderr,
-        )
-        raise SystemExit(2)
-    return backend
-
-
-def _cmd_run(ids: Sequence[str], quick: bool, backend: Optional[str]) -> int:
-    _check_backend(backend)
+def _cmd_run(ids: Sequence[str], quick: bool, opts: RunOptions) -> int:
+    _check_backend(opts.backend)
+    _check_protocol(opts.protocol)
+    _check_trigger(opts.trigger)
     wanted = list(ids)
     if len(wanted) == 1 and wanted[0].lower() == "all":
         wanted = sorted(EXPERIMENTS, key=_experiment_order)
@@ -226,15 +363,29 @@ def _cmd_run(ids: Sequence[str], quick: bool, backend: Optional[str]) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
+    if opts.backend is not None:
+        # Fail fast before any experiment runs: a backend that declares
+        # the driven spec unsupported exits here with the declared
+        # reason, instead of a silent fallback (or a mid-run crash).
+        for experiment_id in wanted:
+            if experiment_id not in BACKEND_AWARE:
+                continue
+            spec = opts.protocol or DEFAULT_SPEC_OF.get(experiment_id)
+            _check_pairing(spec, opts.backend)
     for experiment_id in wanted:
         description, full, fast = EXPERIMENTS[experiment_id]
         print("=" * 78)
         print(f"{experiment_id} — {description}")
         print("=" * 78)
         runner = fast if quick else full
-        if backend is not None and experiment_id not in BACKEND_AWARE:
-            print(f"(--backend {backend} has no effect on {experiment_id})")
-        print(runner(backend))
+        for flag, value, aware in (
+            ("--protocol", opts.protocol, PROTOCOL_AWARE),
+            ("--backend", opts.backend, BACKEND_AWARE),
+            ("--trigger", opts.trigger, TRIGGER_AWARE),
+        ):
+            if value is not None and experiment_id not in aware:
+                print(f"({flag} {value} has no effect on {experiment_id})")
+        print(runner(opts))
         print()
     return 0
 
@@ -242,28 +393,28 @@ def _cmd_run(ids: Sequence[str], quick: bool, backend: Optional[str]) -> int:
 def _cmd_bench(
     protocol: str,
     backend: Optional[str],
+    trigger: Optional[str],
     clients: int,
     steps: int,
 ) -> int:
     """Drive one protocol × backend pairing through the live scheduler."""
+    _check_protocol(protocol)
     _check_backend(backend)
-    from repro.backends import BackendError, build_protocol
+    _check_pairing(protocol, backend)
+    _check_trigger(trigger)
+    import repro.api as api
+    from repro.backends import BackendError
     from repro.bench.incremental_ablation import drive_steps
-    from repro.protocols.spec import SPEC_REGISTRY, spec_names
 
-    if protocol not in SPEC_REGISTRY:
-        print(
-            f"unknown protocol {protocol!r}; "
-            f"registered specs: {', '.join(spec_names())}",
-            file=sys.stderr,
-        )
-        return 2
     try:
-        bound = build_protocol(protocol, backend)
+        bound = api.make_protocol(protocol, backend, clients=clients)
     except BackendError as error:
         print(str(error), file=sys.stderr)
         return 2
-    result = drive_steps(bound, clients=clients, steps=steps)
+    result = drive_steps(
+        bound, clients=clients, steps=steps,
+        trigger=api.make_trigger(trigger) if trigger else None,
+    )
     print(
         f"{bound.name}: {result.steps} steps, {clients} clients -> "
         f"{result.total_qualified} qualified, "
@@ -311,8 +462,9 @@ def _cmd_scenario(args) -> int:
         overrides = dict(
             seed=args.seed, duration=args.duration, clients=args.clients
         )
-        # `scenario compare` has no --backend flag; only `run` does.
+        # `scenario compare` has no --backend/--trigger; only `run` does.
         backend = _check_backend(getattr(args, "backend", None))
+        trigger = _check_trigger(getattr(args, "trigger", None))
         try:
             if args.scenario_command == "run":
                 from repro.backends import BackendError
@@ -325,6 +477,7 @@ def _cmd_scenario(args) -> int:
                             args.record,
                             check_invariants=args.check_invariants,
                             backend=backend,
+                            trigger=trigger,
                             **overrides,
                         )
                     else:
@@ -332,6 +485,7 @@ def _cmd_scenario(args) -> int:
                             specs[0],
                             check_invariants=args.check_invariants,
                             backend=backend,
+                            trigger=trigger,
                             **overrides,
                         )
                     print(render_scenario_report(outcome))
@@ -393,27 +547,153 @@ def _cmd_scenario(args) -> int:
     return 2  # pragma: no cover
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio serving layer over a seeded scenario workload."""
+    import asyncio
+    import dataclasses
+    import json
+    import random
+
+    import repro.api as api
+    from repro.backends import BackendError
+    from repro.faults import InvariantViolation
+    from repro.scenarios import get_scenario
+    from repro.serve import drive_workload
+    from repro.workload.generator import TransactionFactory
+
+    protocol = _check_protocol(args.protocol)
+    backend = _check_backend(args.backend)
+    _check_pairing(protocol, backend)
+    trigger = _check_trigger(args.trigger)
+    try:
+        scenario = get_scenario(args.workload)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if min(args.requests, args.sessions, args.pipeline) <= 0:
+        print(
+            "--requests/--sessions/--pipeline must be positive",
+            file=sys.stderr,
+        )
+        return 2
+
+    workload = scenario.workload
+    # Seeded sizing: enough transactions that statements + commits
+    # reach the requested request count (the same draw drive_workload
+    # replays, so the run stays fully determined by (workload, seed)).
+    factory = TransactionFactory(workload, random.Random(args.seed))
+    transactions = 0
+    planned_requests = 0
+    while planned_requests < args.requests:
+        planned_requests += len(factory.next_profile()) + 1
+        transactions += 1
+
+    admission = (
+        api.AdmissionPolicy(max_pending=args.max_pending)
+        if args.max_pending
+        else None
+    )
+    try:
+        service = api.open_service(
+            protocol,
+            backend,
+            trigger=trigger,
+            admission=admission,
+            max_sessions=args.sessions,
+            max_pipeline=args.pipeline,
+            check_invariants=args.check_invariants,
+        )
+    except (BackendError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    async def _serve():
+        async with service:
+            report = await drive_workload(
+                service,
+                workload,
+                transactions=transactions,
+                sessions=args.sessions,
+                seed=args.seed,
+            )
+            final = service.final_check()
+        return report, final
+
+    print(
+        f"serving workload {args.workload!r} via {protocol}"
+        f"{' on ' + backend if backend else ''}: "
+        f"{transactions} transactions (~{planned_requests} requests), "
+        f"{args.sessions} sessions × pipeline {args.pipeline}"
+        f"{', trigger ' + trigger if trigger else ''}"
+    )
+    try:
+        report, final = asyncio.run(_serve())
+    except InvariantViolation as violation:
+        print(f"INVARIANT VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    stats = service.stats()
+    rejected = stats["rejected"]
+    latency = stats["grant_latency_s"]
+    print(
+        f"submitted {stats['submitted']}, granted {stats['granted']}, "
+        f"rejected {sum(rejected.values())} "
+        f"(timeout {rejected.get('timeout', 0)}, "
+        f"orphan {rejected.get('orphan', 0)}, shed {rejected.get('shed', 0)})"
+    )
+    print(
+        f"transactions: {report.committed} committed, "
+        f"{report.aborted} aborted of {report.transactions}"
+    )
+    print(
+        f"throughput: {stats['grants_per_s']:.0f} grants/s over "
+        f"{stats['duration_s']:.3f}s ({stats['steps']} scheduler steps)"
+    )
+    print(
+        "grant latency ms: "
+        f"p50 {latency['p50'] * 1e3:.3f}, p99 {latency['p99'] * 1e3:.3f}, "
+        f"p99.9 {latency['p99.9'] * 1e3:.3f}, max {latency['max'] * 1e3:.3f}"
+    )
+    if args.check_invariants:
+        summary = ", ".join(
+            f"{state}: {count}" for state, count in sorted(final.items())
+        )
+        print(f"invariants OK: no lost requests ({summary})")
+    if args.json:
+        payload = {
+            "workload": args.workload,
+            "protocol": protocol,
+            "backend": backend,
+            "trigger": trigger,
+            "seed": args.seed,
+            "sessions": args.sessions,
+            "pipeline": args.pipeline,
+            "transactions": transactions,
+            "requests_target": args.requests,
+            "report": dataclasses.asdict(report),
+            "stats": stats,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"stats written to {args.json}")
+    return 0
+
+
 def _cmd_demo(protocol: str, backend: Optional[str]) -> int:
+    _check_protocol(protocol)
     _check_backend(backend)
+    _check_pairing(protocol, backend)
+    import repro.api as api
     from repro import (
-        DeclarativeScheduler,
         Schedule,
         is_conflict_serializable,
         is_strict,
         make_transaction,
     )
     from repro.backends import BackendError
-    from repro.protocols.spec import SPEC_REGISTRY, spec_names
 
-    if protocol not in SPEC_REGISTRY:
-        print(
-            f"unknown protocol {protocol!r}; "
-            f"registered specs: {', '.join(spec_names())}",
-            file=sys.stderr,
-        )
-        return 2
     try:
-        scheduler = DeclarativeScheduler.for_spec(protocol, backend)
+        scheduler = api.make_scheduler(protocol, backend)
     except BackendError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -477,21 +757,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     subparsers.add_parser(
         "backends", help="list registered execution backends"
     )
-    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run experiments",
+        parents=[_protocol_parent(), _backend_parent(), _trigger_parent()],
+    )
     run_parser.add_argument("ids", nargs="+", help="experiment ids or 'all'")
     run_parser.add_argument(
         "--quick", action="store_true", help="scaled-down parameters"
     )
-    run_parser.add_argument(
-        "--backend",
-        help="execution backend for backend-aware experiments (E13/E14)",
-    )
     bench_parser = subparsers.add_parser(
-        "bench", help="drive one protocol × backend pairing"
-    )
-    bench_parser.add_argument("--protocol", default="ss2pl")
-    bench_parser.add_argument(
-        "--backend", help="execution backend (default: the spec's own)"
+        "bench",
+        help="drive one protocol × backend pairing",
+        parents=[
+            _protocol_parent("ss2pl"),
+            _backend_parent(),
+            _trigger_parent(),
+        ],
     )
     bench_parser.add_argument("--clients", type=int, default=100)
     bench_parser.add_argument("--steps", type=int, default=20)
@@ -513,15 +795,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     scenario_run = scenario_sub.add_parser(
-        "run", help="run one scenario deterministically"
+        "run",
+        help="run one scenario deterministically",
+        parents=[_backend_parent(), _trigger_parent()],
     )
     scenario_run.add_argument("name", help="registered scenario name")
     _scenario_overrides(scenario_run)
-    scenario_run.add_argument(
-        "--backend",
-        help="override every cell's execution backend "
-        "(e.g. compiled-delta); recorded into the trace header",
-    )
     scenario_run.add_argument(
         "--record", metavar="PATH", help="record the dispatch trace to PATH"
     )
@@ -541,12 +820,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scenario_compare.add_argument("names", nargs="+", help="scenario names")
     _scenario_overrides(scenario_compare)
 
-    demo_parser = subparsers.add_parser(
-        "demo", help="run the quickstart scenario"
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio serving layer over a scenario workload",
+        parents=[
+            # The gated ss2pl spec, NOT raw ss2pl-listing1: pipelined
+            # sessions need program-order gating (see DESIGN.md §6).
+            _protocol_parent("ss2pl"),
+            _backend_parent(),
+            _trigger_parent("hybrid:0.005,16"),
+        ],
     )
-    demo_parser.add_argument("--protocol", default="ss2pl")
-    demo_parser.add_argument(
-        "--backend", help="execution backend (default: the spec's own)"
+    serve_parser.add_argument(
+        "--workload",
+        default="zipf-hotspot",
+        help="scenario whose workload spec to serve "
+        "(default: zipf-hotspot; see `repro scenario list`)",
+    )
+    serve_parser.add_argument(
+        "--requests", type=int, default=1000,
+        help="approximate total requests to drive (default: 1000)",
+    )
+    serve_parser.add_argument(
+        "--sessions", type=int, default=8,
+        help="session-pool size / concurrent clients (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--pipeline", type=int, default=8,
+        help="per-session in-flight request cap (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=17, help="workload seed (default: 17)"
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=None,
+        help="admission cap: submit blocks (and the scheduler sheds) "
+        "beyond this many undispatched requests",
+    )
+    serve_parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="attach the invariant monitor and assert zero lost "
+        "requests at shutdown",
+    )
+    serve_parser.add_argument(
+        "--json", metavar="PATH", help="write the run's stats as JSON"
+    )
+
+    subparsers.add_parser(
+        "demo",
+        help="run the quickstart scenario",
+        parents=[_protocol_parent("ss2pl"), _backend_parent()],
     )
     sql_parser = subparsers.add_parser(
         "sql", help="run ad-hoc SQL over a demo requests/history instance"
@@ -554,22 +878,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sql_parser.add_argument("query")
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "protocols":
-        return _cmd_protocols()
-    if args.command == "backends":
-        return _cmd_backends()
-    if args.command == "run":
-        return _cmd_run(args.ids, args.quick, args.backend)
-    if args.command == "bench":
-        return _cmd_bench(args.protocol, args.backend, args.clients, args.steps)
-    if args.command == "scenario":
-        return _cmd_scenario(args)
-    if args.command == "demo":
-        return _cmd_demo(args.protocol, args.backend)
-    if args.command == "sql":
-        return _cmd_sql(args.query)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "protocols":
+            return _cmd_protocols()
+        if args.command == "backends":
+            return _cmd_backends()
+        if args.command == "run":
+            return _cmd_run(
+                args.ids,
+                args.quick,
+                RunOptions(
+                    protocol=args.protocol,
+                    backend=args.backend,
+                    trigger=args.trigger,
+                ),
+            )
+        if args.command == "bench":
+            return _cmd_bench(
+                args.protocol,
+                args.backend,
+                args.trigger,
+                args.clients,
+                args.steps,
+            )
+        if args.command == "scenario":
+            return _cmd_scenario(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "demo":
+            return _cmd_demo(args.protocol, args.backend)
+        if args.command == "sql":
+            return _cmd_sql(args.query)
+    except _UsageError:
+        return 2
     return 2  # pragma: no cover
 
 

@@ -20,6 +20,19 @@ behaves exactly as before):
   state changes) — the injection point for forced step exceptions.
 * ``monitor`` (:class:`~repro.faults.invariants.InvariantMonitor`)
   observes submissions, terminal states, and every step.
+
+Two seams let the *same* engine serve both the virtual-time simulator
+and the wall-clock serving layer (:mod:`repro.serve`):
+
+* ``clock`` — a zero-argument callable supplying ``now`` whenever a
+  caller does not pass one.  The default clock pins ``now`` to 0.0,
+  preserving the historical time-agnostic behaviour; the simulator
+  keeps passing virtual times explicitly, and the serving layer
+  installs a monotonic wall clock.
+* ``step_hooks`` — callables invoked with every
+  :class:`SchedulerStepResult` at the end of :meth:`step`, after
+  recovery ran.  The serving layer uses one to resolve grant futures;
+  drivers can attach trace writers the same way.
 """
 
 from __future__ import annotations
@@ -136,6 +149,12 @@ class SchedulerStalledError(RuntimeError):
         return "\n".join(lines)
 
 
+def _ZERO_CLOCK() -> float:
+    """Default clock: callers that never pass ``now`` see 0.0, exactly
+    as before the clock seam existed."""
+    return 0.0
+
+
 class DeclarativeScheduler:
     """The middleware scheduler of Figure 1 (see module docstring).
 
@@ -161,6 +180,7 @@ class DeclarativeScheduler:
         metrics: Optional[MetricsCollector] = None,
         recovery: Optional[RecoveryPolicy] = None,
         admission: Optional[AdmissionPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.protocol = protocol
         self.trigger = trigger if trigger is not None else FillLevelTrigger(1)
@@ -168,6 +188,11 @@ class DeclarativeScheduler:
         self.metrics = metrics
         self.recovery = recovery
         self.admission = admission
+        #: Supplies ``now`` when a caller passes none; defaults to a
+        #: constant 0.0 (the historical time-agnostic behaviour).
+        self.clock: Callable[[], float] = clock if clock is not None else _ZERO_CLOCK
+        #: Called with each step's result at the very end of :meth:`step`.
+        self.step_hooks: list[Callable[[SchedulerStepResult], None]] = []
         self.incoming = IncomingQueue()
         self.pending = PendingStore()
         self.history = HistoryStore()
@@ -199,6 +224,7 @@ class DeclarativeScheduler:
         metrics: Optional[MetricsCollector] = None,
         recovery: Optional[RecoveryPolicy] = None,
         admission: Optional[AdmissionPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
         **backend_options,
     ) -> "DeclarativeScheduler":
         """Build a scheduler from registry names — the backend-agnostic
@@ -218,6 +244,7 @@ class DeclarativeScheduler:
             metrics=metrics,
             recovery=recovery,
             admission=admission,
+            clock=clock,
         )
 
     @property
@@ -227,16 +254,20 @@ class DeclarativeScheduler:
 
     # -- client-facing ----------------------------------------------------------
 
-    def submit(self, request: Request, now: float = 0.0) -> None:
+    def submit(self, request: Request, now: Optional[float] = None) -> None:
         """Buffer one request in the incoming queue (client worker path)."""
+        if now is None:
+            now = self.clock()
         self.incoming.enqueue(request, now)
         if self.monitor is not None:
             self.monitor.note_submitted(request, now)
         if self.metrics is not None:
             self.metrics.incr("scheduler.submitted")
 
-    def should_run(self, now: float) -> bool:
+    def should_run(self, now: Optional[float] = None) -> bool:
         """Evaluate the trigger condition."""
+        if now is None:
+            now = self.clock()
         if len(self.incoming) == 0 and len(self.pending) == 0:
             # The empty fast path must not starve recovery: an orphaned
             # transaction whose lease has expired still holds logical
@@ -266,6 +297,29 @@ class DeclarativeScheduler:
             for ta, orphaned_at in self._orphaned_at.items()
         )
 
+    def next_recovery_due(self, now: Optional[float] = None) -> Optional[float]:
+        """Earliest future time at which the recovery policy would act
+        (a pending-age timeout expiring or an orphan lease running out),
+        or None when no recovery work is armed.
+
+        The serving layer's pacing loop uses this to schedule a wake-up:
+        recovery only runs inside :meth:`step`, so a driver that stops
+        submitting must still step the scheduler at these deadlines.
+        """
+        if self.recovery is None:
+            return None
+        deadlines: list[float] = []
+        for ta, since in self._pending_since.items():
+            client = self._client_of_ta.get(ta, 0)
+            retries = self._retries_of_client.get(client, 0)
+            deadlines.append(since + self.recovery.timeout_for(retries))
+        for ta, orphaned_at in self._orphaned_at.items():
+            if ta in self._client_of_ta:
+                deadlines.append(orphaned_at + self.recovery.orphan_lease)
+        if not deadlines:
+            return None
+        return min(deadlines)
+
     # -- crash notifications (recovery) -----------------------------------------
 
     def note_client_crashed(self, client_id: int, now: float) -> None:
@@ -294,9 +348,11 @@ class DeclarativeScheduler:
 
     # -- the scheduler step -------------------------------------------------------
 
-    def step(self, now: float = 0.0) -> SchedulerStepResult:
+    def step(self, now: Optional[float] = None) -> SchedulerStepResult:
         """Run one full scheduler step (Figure 1 steps 1-4 up to
         dispatch; the caller sends the returned batch to its server)."""
+        if now is None:
+            now = self.clock()
         if self.fault_hook is not None:
             # Before any state changes: an injected failure here must
             # leave queue/stores untouched so a retried step sees the
@@ -401,6 +457,8 @@ class DeclarativeScheduler:
                         stats, prefix="scheduler.delta"
                     )
 
+        for hook in self.step_hooks:
+            hook(result)
         return result
 
     # -- recovery internals ------------------------------------------------------

@@ -9,6 +9,15 @@ lowest-priority first, then most-retried first, then newest first —
 fresh low-priority work is rejected before old high-priority work is
 disturbed, and a client that keeps failing does not get to monopolize
 the pending table with its retries.
+
+The serving layer (:mod:`repro.serve`) reuses the same policy for
+*submit-side backpressure*: :meth:`SchedulerService.submit
+<repro.serve.service.SchedulerService.submit>` waits while the
+scheduler already holds ``max_pending`` undispatched rows, so well-
+behaved open-loop clients slow down before anything is shed.  Step-time
+shedding stays armed underneath as the hard backstop (many submitters
+racing one drain), and the service surfaces those sheds to clients as
+``TicketRejected("shed")``.
 """
 
 from __future__ import annotations

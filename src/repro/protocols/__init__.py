@@ -15,11 +15,14 @@ specification/execution split, it is layered:
 * :mod:`repro.backends` — pluggable execution backends; any spec runs
   on any backend that can lower one of its dialects
   (``build_protocol("ss2pl", "datalog")``);
-* the historical per-protocol modules remain as compatibility shims
+* :mod:`repro.protocols.legacy` keeps the historical class names
   (``SS2PLDatalogProtocol()`` ≡ spec ``ss2pl-listing1`` on backend
-  ``datalog``), and :mod:`repro.protocols.sla` /
-  :mod:`repro.protocols.adaptive` provide protocol *combinators* (SLA
-  ordering, EDF, adaptive consistency) that wrap any bound protocol.
+  ``datalog``); the old per-protocol module paths
+  (``repro.protocols.ss2pl*``) are deprecation stubs over it — new
+  code constructs through :mod:`repro.api` — and
+  :mod:`repro.protocols.sla` / :mod:`repro.protocols.adaptive` provide
+  protocol *combinators* (SLA ordering, EDF, adaptive consistency)
+  that wrap any bound protocol.
 """
 
 from repro.protocols.base import (
@@ -38,15 +41,18 @@ from repro.protocols.spec import (
     spec_names,
 )
 from repro.protocols import library  # noqa: F401  (registers the specs)
-from repro.protocols.ss2pl import SS2PLRelalgProtocol, PaperListing1Protocol
-from repro.protocols.ss2pl_datalog import SS2PLDatalogProtocol
 from repro.protocols.library import (
     SS2PL_DATALOG_RULES,
     make_bounded_oversell_spec,
 )
-from repro.protocols.ss2pl_incremental import SS2PLIncrementalProtocol
-from repro.protocols.ss2pl_sqlfront import SqlFrontendSS2PLProtocol
-from repro.protocols.ss2pl_sql import SS2PLSqlProtocol
+from repro.protocols.legacy import (
+    PaperListing1Protocol,
+    SS2PLDatalogProtocol,
+    SS2PLIncrementalProtocol,
+    SS2PLRelalgProtocol,
+    SS2PLSqlProtocol,
+    SqlFrontendSS2PLProtocol,
+)
 from repro.protocols.c2pl import ConservativeTwoPLProtocol
 from repro.protocols.fcfs import FCFSProtocol
 from repro.protocols.sla import SLAOrderingProtocol, EarliestDeadlineFirstProtocol

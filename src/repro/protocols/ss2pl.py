@@ -1,108 +1,34 @@
-"""SS2PL protocol classes — thin shims over the spec layer.
+"""Deprecated module path — use :mod:`repro.api` (or
+:mod:`repro.protocols.legacy` for the class names).
 
-The query logic formerly in this module (the paper's Listing 1 SQL, the
-relalg transliterations, the Datalog rules) now lives in
-:mod:`repro.protocols.library` as the single ``ss2pl-listing1`` /
-``ss2pl`` :class:`~repro.protocols.spec.ProtocolSpec` pair; execution
-strategy selection lives in :mod:`repro.backends`.  The classes here
-keep the historical construction API (``compiled=`` flag, ``_plans``
-plan cache, ``explain``) on top of ``spec + backend``.
+``PaperListing1Protocol()`` ≡ ``build_protocol("ss2pl-listing1",
+"compiled")`` and ``SS2PLRelalgProtocol()`` ≡ ``build_protocol("ss2pl",
+"compiled")``; construct through ``repro.api.make_protocol`` instead.
+Importing this module keeps working, behavior-identical, with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.backends import SpecProtocol
-from repro.protocols.base import register_protocol
-from repro.protocols.library import (  # noqa: F401  (re-exported API)
+import warnings
+
+from repro.protocols.legacy import (  # noqa: F401  (re-exported API)
     LISTING1_SPEC,
     LISTING1_SQL,
+    PaperListing1Protocol,
     SS2PL_SPEC,
+    SS2PLRelalgProtocol,
+    _Listing1Backed,
     gate_program_order,
     listing1_pipeline,
     listing1_query,
 )
-from repro.relalg.table import Table
 
-
-class _Listing1Backed(SpecProtocol):
-    """Listing 1 on the relalg engine with a switchable evaluation
-    strategy: ``compiled=True`` (default) binds the compile-once
-    backend, ``compiled=False`` the eager interpreted pipeline
-    (benchmarks measure one against the other; tests assert
-    byte-identical batches)."""
-
-    spec_name = "ss2pl-listing1"
-
-    def __init__(self, compiled: bool = True) -> None:
-        from repro.protocols.spec import get_spec
-
-        self.compiled = compiled
-        super().__init__(
-            get_spec(self.spec_name),
-            backend="compiled" if compiled else "interpreted",
-            name=type(self).name,
-            description=type(self).description,
-        )
-        # In interpreted mode the evaluator holds no plans; EXPLAIN and
-        # the historical ``_plans`` accessor still work through a
-        # lazily built compiled view of the same spec.
-        self._compat_plans = None
-
-    @property
-    def _plans(self):
-        """The compiled plan cache for this protocol's query (compat
-        accessor; available in both evaluation modes, as before the
-        spec/backend split)."""
-        plans = getattr(self._evaluator, "plans", None)
-        if plans is not None:
-            return plans
-        if self._compat_plans is None:
-            from repro.relalg.plan import PlanCache
-
-            self._compat_plans = PlanCache(self.spec.relalg)
-        return self._compat_plans
-
-    def reset(self) -> None:
-        super().reset()
-        if self._compat_plans is not None:
-            self._compat_plans.clear()
-
-    def explain(self, requests: Table, history: Table) -> str:
-        """Physical EXPLAIN of the cached plan for this table pair."""
-        return self._plans.get(requests, history).explain()
-
-
-class PaperListing1Protocol(_Listing1Backed):
-    """Listing 1 exactly as published.
-
-    Published semantics are kept untouched, including the naive aspects
-    the paper acknowledges (Section 5 calls this approach "naive"): no
-    program-order gating — a request can qualify before earlier
-    statements of its own transaction have executed.  Termination
-    requests (object ``-1``, operation ``c``/``a``) always qualify: they
-    collide with no data object and the intra-batch rule requires a
-    write on at least one side.
-    """
-
-    name = "ss2pl-listing1"
-    description = "SS2PL via the paper's Listing 1 query, relalg backend"
-    spec_name = "ss2pl-listing1"
-
-
-class SS2PLRelalgProtocol(_Listing1Backed):
-    """Listing 1 plus program-order and termination gating (the spec's
-    ``post_process`` policy) — the variant the live middleware runs."""
-
-    name = "ss2pl"
-    description = "SS2PL (Listing 1 + program order), relalg backend"
-    spec_name = "ss2pl"
-
-
-@register_protocol
-def _make_listing1() -> PaperListing1Protocol:
-    return PaperListing1Protocol()
-
-
-@register_protocol
-def _make_ss2pl() -> SS2PLRelalgProtocol:
-    return SS2PLRelalgProtocol()
+warnings.warn(
+    "repro.protocols.ss2pl is deprecated; build protocols via "
+    "repro.api.make_protocol('ss2pl-listing1', backend) / "
+    "make_protocol('ss2pl', backend), or import the class names from "
+    "repro.protocols.legacy",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,55 +1,25 @@
-"""SS2PL on the Datalog backend — compatibility shim.
+"""Deprecated module path — use :mod:`repro.api` (or
+:mod:`repro.protocols.legacy` for the class name).
 
-The rule set (``SS2PL_DATALOG_RULES``, re-exported here) lives in
-:mod:`repro.protocols.library`; evaluation lives in
-:mod:`repro.backends.datalog`.  This class is the historical name for
-``build_protocol("ss2pl-listing1", "datalog")`` plus why-provenance
-(:meth:`explain_denial`).
+``SS2PLDatalogProtocol()`` ≡ ``build_protocol("ss2pl-listing1",
+"datalog")``; construct through ``repro.api.make_protocol`` instead.
+Importing this module keeps working, behavior-identical, with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.backends import SpecProtocol
-from repro.protocols.base import register_protocol
-from repro.protocols.library import SS2PL_DATALOG_RULES  # noqa: F401
-from repro.protocols.spec import get_spec
+import warnings
 
+from repro.protocols.legacy import (  # noqa: F401  (re-exported API)
+    SS2PL_DATALOG_RULES,
+    SS2PLDatalogProtocol,
+)
 
-class SS2PLDatalogProtocol(SpecProtocol):
-    """SS2PL via the Datalog rule set.
-
-    Result-equivalent to :class:`~repro.protocols.ss2pl.
-    PaperListing1Protocol` on every pending/history instance (asserted
-    by the cross-backend matrix test), while the specification is
-    roughly a quarter of the SQL's size — the paper's succinctness
-    hypothesis, made measurable (benchmark E9).
-    """
-
-    name = "ss2pl-datalog"
-    description = "SS2PL as 12 Datalog rules"
-
-    def __init__(self) -> None:
-        super().__init__(
-            get_spec("ss2pl-listing1"),
-            backend="datalog",
-            name=type(self).name,
-            description=type(self).description,
-        )
-
-    @property
-    def _program(self):
-        return self._evaluator.program
-
-    def explain_denial(self, request_id: int) -> str:
-        """Why-provenance for the last batch's denial of *request_id*.
-
-        Returns a formatted derivation tree (see
-        :mod:`repro.datalog.explain`); raises when the request was not
-        denied in the most recent :meth:`schedule` call.
-        """
-        return self._evaluator.explain_denial(request_id)
-
-
-@register_protocol
-def _make_ss2pl_datalog() -> SS2PLDatalogProtocol:
-    return SS2PLDatalogProtocol()
+warnings.warn(
+    "repro.protocols.ss2pl_datalog is deprecated; build protocols via "
+    "repro.api.make_protocol('ss2pl-listing1', 'datalog'), or import "
+    "the class name from repro.protocols.legacy",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,69 +1,24 @@
-"""Incrementally maintained SS2PL — compatibility shim.
+"""Deprecated module path — use :mod:`repro.api` (or
+:mod:`repro.protocols.legacy` for the class name).
 
-The historical name for ``build_protocol("ss2pl-listing1",
-"incremental")``: research question 4 answered with incremental view
-maintenance of the lock footprint, now implemented once for *any*
-lock-model spec in :mod:`repro.backends.incremental`.  Semantics are
-identical to :class:`~repro.protocols.ss2pl.PaperListing1Protocol`;
-the equivalence is asserted by the matrix test and measured by E11.
-
-Because the maintained state lives in the evaluator, it must observe
-*every* history change.  Driving it through
-:class:`~repro.core.scheduler.DeclarativeScheduler` guarantees that;
-for standalone use, call :meth:`SS2PLIncrementalProtocol.resync` after
-loading history out-of-band.
+``SS2PLIncrementalProtocol()`` ≡ ``build_protocol("ss2pl-listing1",
+"incremental")``; construct through ``repro.api.make_protocol``
+instead.  Importing this module keeps working, behavior-identical,
+with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.backends import SpecProtocol
-from repro.protocols.base import register_protocol
-from repro.protocols.spec import get_spec
-from repro.relalg.table import Table
+import warnings
 
+from repro.protocols.legacy import (  # noqa: F401  (re-exported API)
+    SS2PLIncrementalProtocol,
+)
 
-class SS2PLIncrementalProtocol(SpecProtocol):
-    """Listing 1 semantics with incrementally maintained lock views."""
-
-    name = "ss2pl-incremental"
-    description = "SS2PL with incrementally maintained lock footprint"
-
-    def __init__(self) -> None:
-        super().__init__(
-            get_spec("ss2pl-listing1"),
-            backend="incremental",
-            name=type(self).name,
-            description=type(self).description,
-        )
-
-    def resync(self, history: Table) -> None:
-        """Rebuild the incremental state from a history table (for
-        standalone use where history was loaded out-of-band)."""
-        self._evaluator.resync(history)
-
-    # -- compat accessors for the maintained views ------------------------
-
-    @property
-    def _write_locks(self):
-        return self._evaluator._write_locks
-
-    @property
-    def _read_locks(self):
-        return self._evaluator._read_locks
-
-    @property
-    def _reads_of(self):
-        return self._evaluator._reads_of
-
-    @property
-    def _writes_of(self):
-        return self._evaluator._writes_of
-
-    @property
-    def _finished(self):
-        return self._evaluator._finished
-
-
-@register_protocol
-def _make_ss2pl_incremental() -> SS2PLIncrementalProtocol:
-    return SS2PLIncrementalProtocol()
+warnings.warn(
+    "repro.protocols.ss2pl_incremental is deprecated; build protocols "
+    "via repro.api.make_protocol('ss2pl-listing1', 'incremental'), or "
+    "import the class name from repro.protocols.legacy",
+    DeprecationWarning,
+    stacklevel=2,
+)

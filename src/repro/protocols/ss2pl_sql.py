@@ -1,36 +1,25 @@
-"""SS2PL on sqlite3 — compatibility shim.
+"""Deprecated module path — use :mod:`repro.api` (or
+:mod:`repro.protocols.legacy` for the class name).
 
-The historical name for ``build_protocol("ss2pl-listing1", "sqlite")``:
-the paper's literal SQL executed by a real SQL engine.  The SQL text
-lives in :mod:`repro.protocols.library`; the loading/evaluation loop in
-:mod:`repro.backends.sqlitebridge`.
+``SS2PLSqlProtocol()`` ≡ ``build_protocol("ss2pl-listing1",
+"sqlite")``; construct through ``repro.api.make_protocol`` instead.
+Importing this module keeps working, behavior-identical, with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.backends import SpecProtocol
-from repro.protocols.base import register_protocol
-from repro.protocols.library import LISTING1_SQL  # noqa: F401
-from repro.protocols.spec import get_spec
+import warnings
 
+from repro.protocols.legacy import (  # noqa: F401  (re-exported API)
+    LISTING1_SQL,
+    SS2PLSqlProtocol,
+)
 
-class SS2PLSqlProtocol(SpecProtocol):
-    """The paper's Listing 1 executed by sqlite3 (cross-validation and
-    the SQL data point in the language ablation; each evaluation loads
-    fresh snapshot tables by design — see the backend docstring)."""
-
-    name = "ss2pl-sql"
-    description = "SS2PL via Listing 1 on sqlite3"
-
-    def __init__(self) -> None:
-        super().__init__(
-            get_spec("ss2pl-listing1"),
-            backend="sqlite",
-            name=type(self).name,
-            description=type(self).description,
-        )
-
-
-@register_protocol
-def _make_ss2pl_sql() -> SS2PLSqlProtocol:
-    return SS2PLSqlProtocol()
+warnings.warn(
+    "repro.protocols.ss2pl_sql is deprecated; build protocols via "
+    "repro.api.make_protocol('ss2pl-listing1', 'sqlite'), or import "
+    "the class name from repro.protocols.legacy",
+    DeprecationWarning,
+    stacklevel=2,
+)

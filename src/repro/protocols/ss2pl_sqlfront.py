@@ -1,48 +1,25 @@
-"""SS2PL via the SQL frontend — compatibility shim.
+"""Deprecated module path — use :mod:`repro.api` (or
+:mod:`repro.protocols.legacy` for the class name).
 
-The historical name for ``build_protocol("ss2pl-listing1", "sqlfront")``:
-the same Listing 1 *text* that sqlite3 runs, parsed and planned by this
-repository's own engine (no hand-written plan at all — SQL in,
-schedule out).  Text in :mod:`repro.protocols.library`; planning in
-:mod:`repro.backends.sqlfront`.
+``SqlFrontendSS2PLProtocol()`` ≡ ``build_protocol("ss2pl-listing1",
+"sqlfront")``; construct through ``repro.api.make_protocol`` instead.
+Importing this module keeps working, behavior-identical, with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from repro.backends import SpecProtocol
-from repro.protocols.base import register_protocol
-from repro.protocols.library import LISTING1_SQL  # noqa: F401
-from repro.protocols.spec import get_spec
+import warnings
 
+from repro.protocols.legacy import (  # noqa: F401  (re-exported API)
+    LISTING1_SQL,
+    SqlFrontendSS2PLProtocol,
+)
 
-class SqlFrontendSS2PLProtocol(SpecProtocol):
-    """Listing 1 parsed and planned by :class:`repro.relalg.sql.SqlPlanner`.
-
-    The SQL text is parsed, planned and compiled **once** per
-    (requests, history) table pair — each scheduler step only executes
-    the cached physical plan; ``compiled=False`` re-parses and
-    re-plans per step (the original behaviour, kept for the E8
-    interpreted-vs-compiled ablation).
-    """
-
-    name = "ss2pl-sqlfront"
-    description = "SS2PL: the paper's SQL text on our SQL frontend"
-
-    def __init__(self, compiled: bool = True) -> None:
-        self.compiled = compiled
-        super().__init__(
-            get_spec("ss2pl-listing1"),
-            backend="sqlfront",
-            name=type(self).name,
-            description=type(self).description,
-            compiled=compiled,
-        )
-
-    @property
-    def _plans(self):
-        return self._evaluator.plans
-
-
-@register_protocol
-def _make_ss2pl_sqlfront() -> SqlFrontendSS2PLProtocol:
-    return SqlFrontendSS2PLProtocol()
+warnings.warn(
+    "repro.protocols.ss2pl_sqlfront is deprecated; build protocols via "
+    "repro.api.make_protocol('ss2pl-listing1', 'sqlfront'), or import "
+    "the class name from repro.protocols.legacy",
+    DeprecationWarning,
+    stacklevel=2,
+)

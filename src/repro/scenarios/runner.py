@@ -16,13 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.backends import build_protocol
+import repro.api as api
 from repro.core.scheduler import SchedulerConfig, SchedulerCostModel
 from repro.core.simulation import MiddlewareResult, MiddlewareSimulation
 from repro.faults.invariants import InvariantViolation
-from repro.protocols.adaptive import AdaptiveConsistencyProtocol
 from repro.protocols.base import Protocol
-from repro.protocols.sla import SLAOrderingProtocol
 from repro.scenarios.spec import ScenarioCell, ScenarioSpec, get_scenario
 from repro.server.costmodel import CostModel, PAPER_CALIBRATION
 from repro.workload.clients import ClientPopulation, SLA_TIERS
@@ -52,6 +50,9 @@ class ScenarioResult:
     clients: int
     #: Backend override applied to every cell (None = each cell's own).
     backend: Optional[str] = None
+    #: Trigger override applied to every cell (CLI spelling, e.g.
+    #: ``"fill:20"``; None = each cell's own).
+    trigger: Optional[str] = None
     cells: list[CellResult] = field(default_factory=list)
 
     def cell(self, label: str) -> CellResult:
@@ -79,23 +80,7 @@ def build_cell_protocol(
     equivalence check.
     """
     resolved = backend if backend is not None else cell.backend
-    name = cell.protocol
-    if name.startswith("sla:"):
-        return SLAOrderingProtocol(build_protocol(name[4:], resolved))
-    if name.startswith("adaptive:"):
-        strict_name, _, relaxed_name = name[len("adaptive:"):].partition(",")
-        if not relaxed_name:
-            raise ValueError(
-                "adaptive protocol needs 'adaptive:<strict>,<relaxed>', "
-                f"got {name!r}"
-            )
-        return AdaptiveConsistencyProtocol(
-            strict=build_protocol(strict_name, resolved),
-            relaxed=build_protocol(relaxed_name, resolved),
-            high_watermark=max(2, clients),
-            low_watermark=max(1, clients // 4),
-        )
-    return build_protocol(name, resolved)
+    return api.make_protocol(cell.protocol, resolved, clients=clients)
 
 
 def run_scenario(
@@ -109,14 +94,17 @@ def run_scenario(
     scheduler_cost: SchedulerCostModel = SchedulerCostModel(),
     check_invariants: bool = False,
     backend: Optional[str] = None,
+    trigger: Optional[str] = None,
 ) -> ScenarioResult:
     """Run every cell of *spec* under the virtual clock.
 
     ``seed``/``duration``/``clients`` override the spec's defaults (the
     CLI flags); all cells share them, so sweep cells see the identical
     workload draw.  ``backend`` overrides every cell's execution
-    backend (the ``--backend`` flag); the recorded trace header carries
-    it so replays re-run on the same engine.
+    backend and ``trigger`` every cell's trigger policy (the
+    ``--backend``/``--trigger`` flags, same spellings as
+    :func:`repro.api.make_trigger`); the recorded trace header carries
+    both so replays re-run on the same engine and pacing.
 
     With ``check_invariants``, every cell runs under an
     :class:`~repro.faults.invariants.InvariantMonitor`; a violation
@@ -145,12 +133,19 @@ def run_scenario(
         duration=duration,
         clients=clients,
         backend=backend,
+        trigger=trigger,
     )
     for cell in spec.cells:
         protocol = build_cell_protocol(cell, clients, backend=backend)
+        # The override builds one fresh (stateful) policy per cell.
+        cell_trigger = (
+            api.make_trigger(trigger)
+            if trigger is not None
+            else cell.trigger.build()
+        )
         simulation = MiddlewareSimulation(
             protocol=protocol,
-            trigger=cell.trigger.build(),
+            trigger=cell_trigger,
             spec=spec.workload,
             clients=clients,
             seed=seed,
@@ -194,6 +189,7 @@ def record_scenario(
     clients: Optional[int] = None,
     check_invariants: bool = False,
     backend: Optional[str] = None,
+    trigger: Optional[str] = None,
 ) -> ScenarioResult:
     """Run with trace recording on and persist the dispatch log plus the
     header needed to re-run it (:func:`replay_scenario`)."""
@@ -205,6 +201,7 @@ def record_scenario(
         record=True,
         check_invariants=check_invariants,
         backend=backend,
+        trigger=trigger,
     )
     header = {
         "scenario": spec.name,
@@ -214,6 +211,8 @@ def record_scenario(
     }
     if backend is not None:
         header["backend"] = backend
+    if trigger is not None:
+        header["trigger"] = trigger
     write_trace_file(path, outcome.traces(), header=header)
     return outcome
 
@@ -250,6 +249,7 @@ def replay_scenario(path) -> ReplayOutcome:
         clients=int(header["clients"]),
         record=True,
         backend=header.get("backend") or None,
+        trigger=header.get("trigger") or None,
     )
     produced = {label: trace for label, trace in outcome.traces()}
     recorded_map = {label: trace for label, trace in recorded}

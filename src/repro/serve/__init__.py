@@ -1,0 +1,46 @@
+"""The asyncio serving layer: scheduler-as-a-service.
+
+ROADMAP item 1 — the gateway from "reproduction" to "service".  The
+same :class:`~repro.core.scheduler.DeclarativeScheduler` the simulator
+drives with virtual time runs here as a long-lived asyncio task paced
+by the trigger policies, behind pooled sessions and a three-call
+wire-ish API (``submit`` → ticket, ``await_grant``, ``release``).
+
+Construct services through :func:`repro.api.open_service`; the pieces
+live here:
+
+* :class:`SchedulerService` — the pacing loop, grant routing,
+  admission backpressure (:mod:`repro.serve.service`).
+* :class:`Session` / :class:`SessionPool` / :class:`Ticket` — bounded
+  connections with per-session pipelining (:mod:`repro.serve.session`).
+* :func:`drive_workload` — the seeded pooled workload driver the CLI,
+  benchmarks, and tests share (:mod:`repro.serve.client`).
+"""
+
+from repro.serve.client import DriveReport, drive_workload, generate_profiles
+from repro.serve.service import SchedulerService
+from repro.serve.session import (
+    ServeError,
+    ServiceClosed,
+    Session,
+    SessionClosed,
+    SessionPool,
+    Ticket,
+    TicketRejected,
+    TicketState,
+)
+
+__all__ = [
+    "DriveReport",
+    "SchedulerService",
+    "ServeError",
+    "ServiceClosed",
+    "Session",
+    "SessionClosed",
+    "SessionPool",
+    "Ticket",
+    "TicketRejected",
+    "TicketState",
+    "drive_workload",
+    "generate_profiles",
+]

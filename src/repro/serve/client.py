@@ -1,0 +1,193 @@
+"""Pooled workload driver for the serving layer.
+
+:func:`drive_workload` is the open-traffic counterpart of the closed-
+loop simulation drivers: it pre-generates a seeded list of transaction
+profiles (same :class:`~repro.workload.generator.TransactionFactory`
+machinery the simulator uses, so the *content* of the workload is fully
+determined by ``(spec, seed)``), then replays them through a
+:class:`~repro.serve.session.SessionPool` with ``sessions`` concurrent
+clients, each pipelining a whole transaction's statements before
+awaiting the grants in program order.
+
+Wall-clock interleaving across sessions is inherently nondeterministic;
+what the seed pins is every transaction's statement sequence, which is
+what invariant checking and benchmark comparability need.
+
+``crash_indices`` injects client crashes (the PR 4 crash-storm shape,
+ported to sessions): the session executing one of those transaction
+indices crashes after its first grant — mid-transaction, locks held —
+and a fresh session takes over the remaining work.  The scheduler's
+recovery policy must reap the orphaned transaction; the driver counts
+the crash and moves on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.request import NO_OBJECT, Operation
+from repro.serve.service import SchedulerService
+from repro.serve.session import ServiceClosed, TicketRejected
+from repro.workload.generator import StatementProfile, TransactionFactory
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass
+class DriveReport:
+    """What the driver observed (service-side telemetry lives in
+    :meth:`~repro.serve.service.SchedulerService.stats`)."""
+
+    transactions: int = 0
+    committed: int = 0
+    aborted: int = 0
+    crashes: int = 0
+    requests_submitted: int = 0
+    requests_granted: int = 0
+    requests_rejected: int = 0
+    reject_reasons: dict[str, int] = field(default_factory=dict)
+
+    def merge_rejection(self, reason: str) -> None:
+        self.requests_rejected += 1
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+
+
+def generate_profiles(
+    spec: WorkloadSpec, seed: int, transactions: int
+) -> list[list[StatementProfile]]:
+    """The seeded workload: ``transactions`` statement sequences, fully
+    determined by ``(spec, seed)``."""
+    factory = TransactionFactory(spec, random.Random(seed))
+    return [factory.next_profile() for __ in range(transactions)]
+
+
+async def drive_workload(
+    service: SchedulerService,
+    spec: WorkloadSpec,
+    *,
+    transactions: int,
+    sessions: int = 8,
+    seed: int = 17,
+    crash_indices: Optional[set[int]] = None,
+) -> DriveReport:
+    """Replay a seeded workload through the service's session pool.
+
+    ``sessions`` concurrent clients pull transactions from the shared
+    seeded list; each submits a transaction's statements back-to-back
+    (bounded by the session's pipeline), awaits the grants in program
+    order, releases them, then commits.  A recovery rejection (timeout
+    / shed / orphan) aborts the transaction client-side: remaining
+    grants are collected and the transaction is counted ``aborted``.
+    """
+    if transactions <= 0:
+        raise ValueError("transactions must be positive")
+    if sessions <= 0:
+        raise ValueError("sessions must be positive")
+    profiles = generate_profiles(spec, seed, transactions)
+    crash_at = crash_indices or set()
+    queue: asyncio.Queue = asyncio.Queue()
+    for index, profile in enumerate(profiles):
+        queue.put_nowait((index, profile))
+    report = DriveReport(transactions=transactions)
+
+    async def worker() -> None:
+        while True:
+            try:
+                index, profile = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            session = await service.pool.acquire()
+            try:
+                await _run_transaction(
+                    service,
+                    session,
+                    profile,
+                    report,
+                    crash=index in crash_at,
+                )
+            except ServiceClosed:
+                return
+            finally:
+                if session.is_open:
+                    await session.close()
+
+    await asyncio.gather(*(worker() for __ in range(sessions)))
+    return report
+
+
+async def _run_transaction(
+    service: SchedulerService,
+    session,
+    profile: list[StatementProfile],
+    report: DriveReport,
+    crash: bool = False,
+) -> None:
+    session.begin()
+    tickets: list = []
+    collected = 0
+    aborted = False
+    crashed = False
+
+    async def collect_oldest() -> None:
+        # Await (in program order) the oldest ticket not yet collected
+        # and release its grant.  A recovery rejection marks the whole
+        # transaction aborted — the remaining tickets of the aborted ta
+        # fail fast, so draining them cannot hang.
+        nonlocal collected, aborted, crashed
+        position = collected
+        ticket = tickets[position]
+        collected += 1
+        try:
+            await service.await_grant(ticket)
+        except TicketRejected as rejection:
+            report.merge_rejection(rejection.reason)
+            aborted = True
+            return
+        report.requests_granted += 1
+        service.release(ticket)
+        if crash and position == 0:
+            # Mid-transaction client death: grants held, commit
+            # never sent — the orphan-reaping path's test vector.
+            await session.crash()
+            report.crashes += 1
+            crashed = True
+
+    for statement in profile:
+        # Submitting past the pipeline bound would block on a semaphore
+        # only release() frees — with every slot full and every grant
+        # uncollected that is a self-deadlock, so collect the oldest
+        # grant first whenever the window is full.
+        while not aborted and tickets and (
+            len(tickets) - collected >= session.max_pipeline
+        ):
+            await collect_oldest()
+            if crashed:
+                report.aborted += 1
+                return
+        if aborted:
+            break
+        tickets.append(
+            await session.request(statement.operation.value, statement.obj)
+        )
+        report.requests_submitted += 1
+    while collected < len(tickets):
+        await collect_oldest()
+        if crashed:
+            report.aborted += 1
+            return
+    if aborted:
+        report.aborted += 1
+        return
+    commit = await session.request(Operation.COMMIT.value, NO_OBJECT)
+    report.requests_submitted += 1
+    try:
+        await service.await_grant(commit)
+    except TicketRejected as rejection:
+        report.merge_rejection(rejection.reason)
+        report.aborted += 1
+        return
+    report.requests_granted += 1
+    service.release(commit)
+    report.committed += 1

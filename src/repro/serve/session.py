@@ -1,0 +1,305 @@
+"""Sessions, tickets, and the bounded connection pool.
+
+The wire-ish client surface of the serving layer
+(:mod:`repro.serve.service`): a client acquires a :class:`Session`
+from the :class:`SessionPool` (bounded — acquisition waits when the
+pool is exhausted, exactly like a database connection pool), submits
+requests through it (per-session pipelining is bounded by
+``max_pipeline``), and gets a :class:`Ticket` back for each request.
+The ticket's grant is awaited via
+:meth:`~repro.serve.service.SchedulerService.await_grant` and returned
+with :meth:`~repro.serve.service.SchedulerService.release`.
+
+A session that dies without closing cleanly (``crash()``, or a client
+task that abandons it) reports the crash to the scheduler so the
+recovery policy can reap the orphaned transactions, and *always* gives
+its pool slot back — a crashed client must never leak capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.model.request import NO_OBJECT, Operation, Request, RequestAttributes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.service import SchedulerService
+
+
+class ServeError(RuntimeError):
+    """Base class of serving-layer errors."""
+
+
+class ServiceClosed(ServeError):
+    """The service stopped while the operation was in flight."""
+
+
+class TicketRejected(ServeError):
+    """The request's transaction was aborted before the grant: shed by
+    admission control, timed out by the recovery policy, or reaped as
+    an orphan.  ``reason`` carries which."""
+
+    def __init__(self, ticket: "Ticket", reason: str) -> None:
+        super().__init__(
+            f"request {ticket.request.id} (ta {ticket.request.ta}) "
+            f"rejected: {reason}"
+        )
+        self.ticket = ticket
+        self.reason = reason
+
+
+class SessionClosed(ServeError):
+    """Submission through a session that was closed or crashed."""
+
+
+class TicketState(enum.Enum):
+    PENDING = "pending"
+    GRANTED = "granted"
+    REJECTED = "rejected"
+    RELEASED = "released"
+
+
+@dataclass
+class Ticket:
+    """One submitted request's handle.
+
+    ``future`` resolves to the ticket itself when the scheduler grants
+    the request, or fails with :class:`TicketRejected` /
+    :class:`ServiceClosed`.  Latency fields are in service-clock
+    seconds.
+    """
+
+    request: Request
+    session_id: int
+    submitted_at: float
+    future: asyncio.Future = field(repr=False)
+    state: TicketState = TicketState.PENDING
+    granted_at: Optional[float] = None
+    reject_reason: Optional[str] = None
+    #: Set when the owning session crashed: nobody will ever await the
+    #: future, so resolution cancels it instead of parking an exception.
+    abandoned: bool = False
+    #: Owning session (None for service-level submits outside any pool).
+    session: Optional["Session"] = field(default=None, repr=False)
+
+    @property
+    def grant_latency(self) -> Optional[float]:
+        """Submit-to-grant seconds (None until granted)."""
+        if self.granted_at is None:
+            return None
+        return self.granted_at - self.submitted_at
+
+
+class Session:
+    """One pooled client connection to the scheduler service.
+
+    Issued by :class:`SessionPool`; ``client_id`` is the identity the
+    scheduler's recovery policy tracks (crash reaping keys on it).
+    ``submit`` pipelines: up to ``max_pipeline`` tickets may be in
+    flight before submission blocks.
+    """
+
+    def __init__(
+        self,
+        service: "SchedulerService",
+        pool: "SessionPool",
+        client_id: int,
+        max_pipeline: int,
+        attrs: Optional[RequestAttributes] = None,
+    ) -> None:
+        self.service = service
+        self.pool = pool
+        self.client_id = client_id
+        self.attrs = attrs if attrs is not None else RequestAttributes(
+            client_id=client_id
+        )
+        self._pipeline = asyncio.Semaphore(max_pipeline)
+        self.max_pipeline = max_pipeline
+        self._open = True
+        self._crashed = False
+        self._inflight: dict[int, Ticket] = {}
+        self._current_ta: Optional[int] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    # -- transaction/request construction ---------------------------------
+
+    def begin(self) -> int:
+        """Start a transaction: returns a fresh service-wide ta."""
+        self._current_ta = self.service.next_ta()
+        self._next_intrata = 0
+        return self._current_ta
+
+    async def request(self, op_code: str, obj: int = NO_OBJECT) -> Ticket:
+        """Build and submit the current transaction's next statement
+        (``"r"``/``"w"`` on *obj*, or ``"c"``/``"a"`` to terminate)."""
+        if self._current_ta is None:
+            self.begin()
+        operation = Operation.from_code(op_code)
+        request = Request(
+            id=self.service.next_request_id(),
+            ta=self._current_ta,
+            intrata=self._next_intrata,
+            operation=operation,
+            obj=obj if operation.is_data_access else NO_OBJECT,
+            attrs=self.attrs,
+        )
+        self._next_intrata += 1
+        if operation.is_termination:
+            self._current_ta = None
+        return await self.submit(request)
+
+    async def submit(self, request: Request) -> Ticket:
+        """Submit one pre-built request; returns its ticket.
+
+        Applies, in order: session liveness, the per-session pipelining
+        bound, then the service's admission backpressure.
+        """
+        if not self._open:
+            raise SessionClosed(
+                f"session {self.client_id} is "
+                f"{'crashed' if self._crashed else 'closed'}"
+            )
+        await self._pipeline.acquire()
+        try:
+            ticket = await self.service.submit(request, session=self)
+        except BaseException:
+            self._pipeline.release()
+            raise
+        self._inflight[request.id] = ticket
+        return ticket
+
+    def _ticket_done(self, ticket: Ticket) -> None:
+        """Service callback: the ticket left the pipeline (granted and
+        released, or rejected)."""
+        if self._inflight.pop(ticket.request.id, None) is not None:
+            self._pipeline.release()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def close(self) -> None:
+        """Clean disconnect: returns the pool slot.  In-flight tickets
+        stay valid — a client may close after collecting its grants."""
+        if not self._open:
+            return
+        self._open = False
+        await self.pool._release(self)
+
+    async def crash(self) -> None:
+        """Abnormal disconnect: the client dies mid-conversation.
+
+        The scheduler is told (its recovery policy will reap the
+        session's orphaned transactions once the lease expires), every
+        in-flight ticket is marked abandoned, and the pool slot is
+        released — crashed clients never leak capacity.
+        """
+        if not self._open:
+            return
+        self._open = False
+        self._crashed = True
+        for ticket in self._inflight.values():
+            ticket.abandoned = True
+        self.service.note_client_crashed(self.client_id)
+        await self.pool._release(self)
+
+
+class SessionPool:
+    """Bounded pool of :class:`Session` slots over one service.
+
+    ``acquire`` waits when all ``max_sessions`` slots are taken; every
+    release (clean close or crash) frees exactly one slot.  Client ids
+    are never reused — a session slot is capacity, not identity, so a
+    reconnecting client can never be mistaken for its crashed
+    predecessor (the scheduler's orphan bookkeeping relies on this).
+    """
+
+    def __init__(
+        self,
+        service: "SchedulerService",
+        max_sessions: int,
+        max_pipeline: int = 8,
+    ) -> None:
+        if max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        if max_pipeline <= 0:
+            raise ValueError("max_pipeline must be positive")
+        self.service = service
+        self.max_sessions = max_sessions
+        self.max_pipeline = max_pipeline
+        self._slots = asyncio.Semaphore(max_sessions)
+        self._next_client_id = 0
+        self._active: dict[int, Session] = {}
+        self._closed = False
+
+    @property
+    def active(self) -> int:
+        """Sessions currently holding a slot."""
+        return len(self._active)
+
+    @property
+    def available(self) -> int:
+        """Free slots (0 when acquisition would wait)."""
+        return self.max_sessions - len(self._active)
+
+    async def acquire(
+        self,
+        attrs: Optional[RequestAttributes] = None,
+        client_id: Optional[int] = None,
+    ) -> Session:
+        """Take a slot (waiting if the pool is exhausted) and return a
+        fresh session.  ``client_id`` pins the identity (a client
+        reconnecting after a crash keeps its id so the scheduler can
+        count its retries); by default ids are allocated fresh."""
+        if self._closed:
+            raise ServiceClosed("session pool is closed")
+        await self._slots.acquire()
+        if client_id is None:
+            client_id = self._next_client_id
+            self._next_client_id += 1
+        else:
+            self._next_client_id = max(self._next_client_id, client_id + 1)
+        if attrs is None:
+            attrs = RequestAttributes(client_id=client_id)
+        session = Session(
+            self.service, self, client_id, self.max_pipeline, attrs=attrs
+        )
+        self._active[id(session)] = session
+        return session
+
+    async def _release(self, session: Session) -> None:
+        if self._active.pop(id(session), None) is not None:
+            self._slots.release()
+
+    def session(self, attrs: Optional[RequestAttributes] = None):
+        """``async with pool.session() as s:`` — acquire/close guard."""
+        return _SessionContext(self, attrs)
+
+    async def close(self) -> None:
+        """Close every active session (clean disconnects)."""
+        self._closed = True
+        for session in list(self._active.values()):
+            await session.close()
+
+
+class _SessionContext:
+    def __init__(self, pool: SessionPool, attrs) -> None:
+        self._pool = pool
+        self._attrs = attrs
+        self._session: Optional[Session] = None
+
+    async def __aenter__(self) -> Session:
+        self._session = await self._pool.acquire(self._attrs)
+        return self._session
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if self._session is not None:
+            await self._session.close()

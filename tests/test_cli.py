@@ -48,7 +48,7 @@ class TestSql:
         assert "SQL error" in capsys.readouterr().err
 
     def test_listing1_via_cli(self, capsys):
-        from repro.protocols.ss2pl import LISTING1_SQL
+        from repro.protocols.legacy import LISTING1_SQL
 
         assert main(["sql", LISTING1_SQL]) == 0
         out = capsys.readouterr().out
@@ -130,3 +130,85 @@ class TestBackendSelection:
         assert main(["demo", "--protocol", "c2pl", "--backend",
                      "compiled"]) == 2
         assert "cannot run spec" in capsys.readouterr().err
+
+
+class TestNormalizedFlags:
+    """--protocol/--backend/--trigger behave identically everywhere."""
+
+    @pytest.mark.parametrize("argv", [
+        ["bench", "--trigger", "bogus"],
+        ["scenario", "run", "smoke", "--trigger", "bogus"],
+        ["serve", "--trigger", "bogus"],
+        ["run", "E14", "--quick", "--trigger", "bogus"],
+    ])
+    def test_bad_trigger_rejected_everywhere(self, argv, capsys):
+        assert main(argv) == 2
+        assert "trigger" in capsys.readouterr().err
+
+    def test_bench_supports_trigger_pacing(self, capsys):
+        assert main([
+            "bench", "--protocol", "ss2pl", "--backend", "compiled-delta",
+            "--trigger", "fill:1", "--clients", "10", "--steps", "4",
+        ]) == 0
+        assert "ss2pl@compiled-delta" in capsys.readouterr().out
+
+    def test_run_fails_fast_on_unsupported_pairing(self, capsys):
+        # E13 drives ss2pl by default; sqlite cannot run c2pl — the run
+        # must exit with the backend's declared reason before any
+        # experiment output, not fall back silently.
+        assert main([
+            "run", "E13", "--quick", "--protocol", "c2pl",
+            "--backend", "sqlite",
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "cannot run spec" in captured.err
+        assert "E13 —" not in captured.out
+
+    def test_run_notes_inapplicable_flags(self, capsys):
+        assert main(["run", "E1", "--quick", "--trigger", "fill:4"]) == 0
+        assert "--trigger fill:4 has no effect on E1" in (
+            capsys.readouterr().out
+        )
+
+    def test_scenario_run_accepts_trigger_override(self, capsys):
+        assert main([
+            "scenario", "run", "smoke", "--trigger", "fill:20",
+            "--check-invariants",
+        ]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_smoke_zero_lost(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "serve.json"
+        assert main([
+            "serve", "--backend", "compiled-delta", "--requests", "120",
+            "--sessions", "4", "--pipeline", "4", "--check-invariants",
+            "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariants OK: no lost requests" in out
+        payload = json.loads(out_json.read_text())
+        stats = payload["stats"]
+        assert stats["submitted"] >= 120
+        assert stats["submitted"] == (
+            stats["granted"] + sum(stats["rejected"].values())
+        )
+        assert payload["protocol"] == "ss2pl"
+        assert payload["report"]["committed"] > 0
+
+    def test_serve_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_serve_unsupported_pairing(self, capsys):
+        assert main([
+            "serve", "--protocol", "c2pl", "--backend", "compiled",
+        ]) == 2
+        assert "cannot run spec" in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_sizing(self, capsys):
+        assert main(["serve", "--requests", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err

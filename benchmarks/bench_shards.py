@@ -1,0 +1,431 @@
+#!/usr/bin/env python
+"""Throughput scaling curve of the sharded scheduler, 1/2/4/8 shards.
+
+Writes ``BENCH_shards.json`` at the repository root (or ``--output``)::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py
+    PYTHONPATH=src python benchmarks/bench_shards.py --quick
+    PYTHONPATH=src python benchmarks/bench_shards.py --check
+
+Each point drives a synchronous closed-loop client population through
+``repro.api.make_scheduler("ss2pl", "compiled", shards=N)`` on a seeded
+scenario workload (``zipf-hotspot`` — the adversarial hot-spot skew —
+and ``matrix-sweep``'s uniform middleware workload).  The ``compiled``
+backend re-evaluates the protocol query over the full pending/history
+tables every step, so per-step cost grows superlinearly with the
+backlog one scheduler holds — exactly the wall the paper's single
+pending table hits, and exactly what partitioning divides.  Time is
+virtual (deterministic deadlock timeouts and cross-shard retry
+backoff); the reported requests/sec are wall-clock.
+
+The facade steps its shards sequentially on one core, so each point
+reports three throughput numbers derived from one measured run (see
+the model comment in :func:`drive` and docs/benchmarks.md):
+``grants_per_s_single_thread`` (raw wall), ``grants_per_s_lockstep``
+(one worker per shard, global barrier per step — the conservative
+floor), and ``grants_per_s`` (one worker per shard, work-conserving —
+the headline; the busiest shard's total step time is the makespan).
+Each point is the median of ``--repeats`` trials by headline
+throughput.
+
+Every point asserts request-lifecycle totality first — zero lost
+requests: each submitted request reaches exactly one terminal state
+(granted, or aborted/shed by recovery) under the invariant monitor,
+with the cross-shard grant-union conflict check armed on the sound
+``two-phase`` route (16-step cadence; SS2PL holds grants to commit,
+so persistent conflicts cannot hide between scans).  The ``home``
+route is recorded for comparison with the conflict check off (it is
+deliberately unsound — see DESIGN.md §7).
+
+``--check`` (used locally; CI records the artefact non-gating) fails
+the run unless 4-shard two-phase throughput on zipf-hotspot reaches
+``--min-speedup`` (default 2.0) times the 1-shard point.  The floor is
+a regression guard, deliberately below the measured median (~2.4x,
+whose structural ceiling on this workload is ~2.7x — the hottest
+object's conflict bucket is conserved under partitioning; DESIGN.md
+§7) so single-machine noise does not flake it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import repro.api as api  # noqa: E402
+from repro.faults.invariants import InvariantMonitor, lock_model_of  # noqa: E402
+from repro.model.request import (  # noqa: E402
+    NO_OBJECT,
+    Operation,
+    Request,
+    RequestAttributes,
+)
+from repro.scenarios import get_scenario  # noqa: E402
+from repro.workload.generator import TransactionFactory  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_shards.json"
+)
+
+PROTOCOL = "ss2pl"
+BACKEND = "compiled"
+SHARD_COUNTS = (1, 2, 4, 8)
+WORKLOADS = ("zipf-hotspot", "matrix-sweep")
+
+#: Virtual seconds per driver iteration; all timeouts below are in the
+#: same virtual clock, so recovery behaviour is deterministic.
+DT = 0.001
+
+
+class _Client:
+    """One closed-loop client: submit a transaction's data statements,
+    wait for every grant, submit the commit, wait, repeat."""
+
+    __slots__ = ("client_id", "ta", "waiting", "committing", "done_txns")
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+        self.ta = None
+        self.waiting = set()
+        self.committing = False
+        self.done_txns = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.ta is None
+
+
+def drive(
+    workload,
+    shards: int,
+    route: str,
+    clients: int,
+    transactions: int,
+    seed: int,
+    check_conflicts: bool,
+    reserve_mode: str = "escalate",
+) -> dict:
+    """One bench point: wall-clock throughput + zero-lost accounting."""
+    scheduler = api.make_scheduler(
+        PROTOCOL,
+        BACKEND,
+        shards=shards,
+        shard_route=route,
+        recovery=api.RecoveryPolicy(
+            request_timeout=30.0, orphan_lease=60.0, retry_delay=0.01
+        ),
+        # A reserve stall on this workload is a hot-lock convoy, not a
+        # deadlock (the zero-churn probe converges with the sweep
+        # disabled), so the timeout is set far above any convoy wait:
+        # it stays armed purely as the deadlock backstop.
+        cross_shard=api.CrossShardPolicy(
+            reserve_timeout=5.0, retry_backoff=0.005,
+            reserve_mode=reserve_mode,
+        ),
+    )
+    # Conflict scans on a 16-step cadence: SS2PL holds grants until
+    # commit, so persistent conflicting grants are still witnessed
+    # (see InvariantMonitor.conflict_interval); lifecycle totality is
+    # checked every step and asserted below.
+    monitor = InvariantMonitor(
+        lock_model_of(scheduler.protocol) if check_conflicts else None,
+        conflict_interval=16,
+    )
+    scheduler.monitor = monitor
+    factory = TransactionFactory(workload, random.Random(seed))
+    profiles = [factory.next_profile() for __ in range(transactions)]
+    pool = [_Client(i + 1) for i in range(clients)]
+    ids = iter(range(1, 1 << 30))
+    tas = iter(range(1, 1 << 30))
+    next_profile = 0
+    granted = submitted = committed = aborted = 0
+    #: request id -> owning client, live requests only.
+    owner_of = {}
+    aborted_tas = set()
+
+    started = time.perf_counter()
+    now = 0.0
+    serial_query_s = 0.0
+    serial_step_s = critical_step_s = 0.0
+    shard_step_totals = [0.0] * shards
+    max_iterations = 4_000_000
+    for __ in range(max_iterations):
+        for client in pool:
+            if not client.idle or next_profile >= len(profiles):
+                continue
+            profile = profiles[next_profile]
+            next_profile += 1
+            client.ta = next(tas)
+            client.committing = False
+            attrs = RequestAttributes(client_id=client.client_id)
+            for intrata, statement in enumerate(profile):
+                request = Request(
+                    id=next(ids),
+                    ta=client.ta,
+                    intrata=intrata,
+                    operation=statement.operation,
+                    obj=statement.obj,
+                    attrs=attrs,
+                )
+                client.waiting.add(request.id)
+                owner_of[request.id] = client
+                scheduler.submit(request, now)
+                submitted += 1
+        result = scheduler.step(now)
+        serial_query_s += result.query_seconds
+        serial_step_s += sum(scheduler.shard_step_seconds)
+        critical_step_s += max(scheduler.shard_step_seconds)
+        for index, seconds in enumerate(scheduler.shard_step_seconds):
+            shard_step_totals[index] += seconds
+        for request in result.qualified:
+            granted += 1
+            client = owner_of.pop(request.id, None)
+            if client is None:
+                continue
+            client.waiting.discard(request.id)
+            if request.operation.is_termination:
+                client.done_txns += 1
+                committed += 1
+                client.ta = None
+                client.waiting.clear()
+        for entries in (
+            result.recovery.timeouts,
+            result.recovery.orphans,
+            result.recovery.sheds,
+        ):
+            for ta, __abort in entries:
+                aborted_tas.add(ta)
+                for client in pool:
+                    if client.ta == ta:
+                        aborted += 1
+                        for rid in client.waiting:
+                            owner_of.pop(rid, None)
+                        client.waiting.clear()
+                        client.ta = None
+        # Commit once every data statement of the transaction is granted.
+        for client in pool:
+            if client.ta is None or client.committing or client.waiting:
+                continue
+            client.committing = True
+            # Program-order slot of the commit: one past the last data
+            # statement (profile length is constant per workload spec).
+            commit = Request(
+                id=next(ids),
+                ta=client.ta,
+                intrata=len(profiles[0]),
+                operation=Operation.COMMIT,
+                obj=NO_OBJECT,
+                attrs=RequestAttributes(client_id=client.client_id),
+            )
+            client.waiting.add(commit.id)
+            owner_of[commit.id] = client
+            scheduler.submit(commit, now)
+            submitted += 1
+        if next_profile >= len(profiles) and all(c.idle for c in pool):
+            break
+        now += DT
+    else:
+        raise AssertionError("bench did not converge")
+    wall = time.perf_counter() - started
+
+    final = monitor.final_check(set(), now + 1_000.0)
+    lost = submitted - sum(final.values())
+    assert lost == 0, f"{lost} requests lost ({final} of {submitted})"
+    # The facade steps shards sequentially, so the measured wall time
+    # serializes N schedulers onto one core.  A deployment runs one
+    # worker per shard; two concurrency models bracket what it would
+    # see.  Both keep every cost outside the shards' own ``step()``
+    # calls — driver, facade routing, cross-shard bookkeeping, global
+    # monitors — fully counted and serial, and swap only the per-shard
+    # step time (protocol query plus the shard's batch/trigger/recovery
+    # work, measured per shard per step):
+    #
+    # * work-conserving ("grants_per_s", the headline): shards step
+    #   independently and coordination stalls pipeline across the many
+    #   in-flight transactions, so the busiest shard's *total* step
+    #   time is the makespan;
+    # * lockstep ("grants_per_s_lockstep", conservative floor): a
+    #   global barrier per step, i.e. every step costs its slowest
+    #   shard's step time.
+    makespan_step_s = max(shard_step_totals)
+    concurrent_wall = wall - serial_step_s + makespan_step_s
+    lockstep_wall = wall - serial_step_s + critical_step_s
+    return {
+        "shards": shards,
+        "route": route,
+        "clients": clients,
+        "transactions": transactions,
+        "requests_submitted": submitted,
+        "requests_granted": granted,
+        "txn_committed": committed,
+        "txn_aborted": aborted,
+        "terminal_states": final,
+        "lost": lost,
+        "wall_s": round(wall, 4),
+        "concurrent_wall_s": round(concurrent_wall, 4),
+        "lockstep_wall_s": round(lockstep_wall, 4),
+        "query_serial_s": round(serial_query_s, 4),
+        "step_serial_s": round(serial_step_s, 4),
+        "step_makespan_s": round(makespan_step_s, 4),
+        "step_lockstep_s": round(critical_step_s, 4),
+        "step_per_shard_s": [round(t, 4) for t in shard_step_totals],
+        "grants_per_s_single_thread": round(granted / wall, 1),
+        "grants_per_s_lockstep": round(granted / lockstep_wall, 1),
+        "grants_per_s": round(granted / concurrent_wall, 1),
+        "steps": scheduler.steps_run,
+    }
+
+
+def run_curve(
+    workload_name: str,
+    clients: int,
+    transactions: int,
+    seed: int,
+    routes=("two-phase", "home"),
+    repeats: int = 1,
+) -> dict:
+    workload = get_scenario(workload_name).workload
+    points = []
+    for route in routes:
+        for shards in SHARD_COUNTS:
+            # Median-of-N by headline throughput: single-machine noise
+            # on a ~3 s point is easily +/-10%, which would dominate
+            # the curve shape at repeats=1.
+            trials = [
+                drive(
+                    workload,
+                    shards,
+                    route,
+                    clients,
+                    transactions,
+                    seed,
+                    # The union conflict check is the two-phase
+                    # soundness witness; home mode is knowingly
+                    # unsound, so only lifecycle totality is asserted
+                    # there.
+                    check_conflicts=(route == "two-phase"),
+                )
+                for __ in range(max(1, repeats))
+            ]
+            trials.sort(key=lambda t: t["grants_per_s"])
+            point = trials[len(trials) // 2]
+            point["trials"] = len(trials)
+            point["grants_per_s_trials"] = [
+                t["grants_per_s"] for t in trials
+            ]
+            baseline = next(
+                (
+                    p["grants_per_s"]
+                    for p in points
+                    if p["route"] == route and p["shards"] == 1
+                ),
+                None,
+            )
+            point["speedup_vs_1"] = (
+                round(point["grants_per_s"] / baseline, 2)
+                if baseline
+                else 1.0
+            )
+            points.append(point)
+            print(
+                f"  {workload_name} {route:9s} x{shards}: "
+                f"{point['grants_per_s']:>9.1f} grants/s "
+                f"({point['speedup_vs_1']:.2f}x, "
+                f"{point['txn_aborted']} txns aborted, "
+                f"{point['wall_s']:.2f}s wall)"
+            )
+    return {
+        "workload": workload_name,
+        "clients": clients,
+        "transactions": transactions,
+        "seed": seed,
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--clients", type=int, default=128,
+        help="closed-loop client population (default: 128)",
+    )
+    parser.add_argument(
+        "--transactions", type=int, default=480,
+        help="transactions per point (default: 480)",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="trials per point, median by throughput (default: 3)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller population/run for CI smoke",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless the 4-shard two-phase zipf-hotspot point "
+        "reaches --min-speedup x the 1-shard point",
+    )
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.clients = min(args.clients, 32)
+        args.transactions = min(args.transactions, 160)
+        args.repeats = 1
+
+    curves = []
+    for workload_name in WORKLOADS:
+        print(f"{workload_name}:")
+        curves.append(
+            run_curve(
+                workload_name,
+                args.clients,
+                args.transactions,
+                args.seed,
+                repeats=args.repeats,
+            )
+        )
+
+    artefact = {
+        "bench": "shards",
+        "protocol": PROTOCOL,
+        "backend": BACKEND,
+        "shard_counts": list(SHARD_COUNTS),
+        "dt_virtual_s": DT,
+        "zero_lost_asserted": True,
+        "curves": curves,
+    }
+    args.output.write_text(
+        json.dumps(artefact, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+
+    if args.check:
+        zipf = next(c for c in curves if c["workload"] == "zipf-hotspot")
+        speedup = next(
+            p["speedup_vs_1"]
+            for p in zipf["points"]
+            if p["route"] == "two-phase" and p["shards"] == 4
+        )
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: 4-shard speedup {speedup:.2f}x < "
+                f"{args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"check OK: 4-shard speedup {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

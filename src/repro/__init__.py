@@ -29,6 +29,7 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.relalg` / :mod:`repro.datalog` / :mod:`repro.lang` /
   :mod:`repro.sqlbridge` — the four declarative backends
 - :mod:`repro.serve` — the asyncio serving layer (pooled sessions)
+- :mod:`repro.shard` — sharded multi-scheduler scale-out
 - :mod:`repro.server` — the simulated DBMS with its native scheduler
 - :mod:`repro.workload`, :mod:`repro.sim`, :mod:`repro.metrics` —
   workloads, virtual time, measurement

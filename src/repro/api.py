@@ -65,16 +65,19 @@ from repro.metrics.collector import MetricsCollector
 from repro.protocols.base import Protocol
 from repro.protocols.spec import spec_names
 from repro.serve.service import SchedulerService
+from repro.shard.scheduler import CrossShardPolicy, ShardedScheduler
 
 __all__ = [
     "AdmissionPolicy",
     "BackendError",
+    "CrossShardPolicy",
     "DeclarativeScheduler",
     "MetricsCollector",
     "RecoveryPolicy",
     "SchedulerConfig",
     "SchedulerCostModel",
     "SchedulerService",
+    "ShardedScheduler",
     "backend_names",
     "build_protocol",
     "make_protocol",
@@ -210,18 +213,65 @@ def make_scheduler(
     admission: Optional[AdmissionPolicy] = None,
     clients: int = 8,
     clock=None,
+    shards: Optional[int] = None,
+    shard_route: str = "two-phase",
+    cross_shard: Optional[CrossShardPolicy] = None,
     **backend_options,
-) -> DeclarativeScheduler:
-    """Build a :class:`DeclarativeScheduler` from names — the one
-    construction path.  All arguments accept the string spellings
-    documented in the module docstring."""
-    return DeclarativeScheduler(
-        make_protocol(protocol, backend, clients=clients, **backend_options),
-        trigger=make_trigger(trigger),
-        config=config,
+) -> Union[DeclarativeScheduler, ShardedScheduler]:
+    """Build a scheduler from names — the one construction path.  All
+    arguments accept the string spellings documented in the module
+    docstring.
+
+    ``shards=None`` (default) returns a plain
+    :class:`DeclarativeScheduler`.  ``shards=N`` returns a
+    :class:`~repro.shard.scheduler.ShardedScheduler` over N independent
+    schedulers — each with its own freshly built protocol and trigger —
+    partitioned by object-id hash, with ``shard_route`` choosing the
+    multi-object path (``"two-phase"`` reserve/commit or the unsound
+    ``"home"`` comparison baseline) and ``cross_shard`` tuning the
+    two-phase timeouts/backoff.  Protocol and trigger *instances*
+    cannot be sharded (shards must not share mutable policy state);
+    pass registry names / string spellings instead.
+    """
+    if shards is None:
+        return DeclarativeScheduler(
+            make_protocol(protocol, backend, clients=clients, **backend_options),
+            trigger=make_trigger(trigger),
+            config=config,
+            metrics=metrics,
+            recovery=recovery,
+            admission=admission,
+            clock=clock,
+        )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > 1 and isinstance(protocol, Protocol):
+        raise ValueError(
+            "cannot shard a live Protocol instance; pass a registry name "
+            "so each shard builds its own"
+        )
+    if shards > 1 and isinstance(trigger, TriggerPolicy):
+        raise ValueError(
+            "cannot share one TriggerPolicy instance across shards; pass "
+            "a trigger spec string so each shard builds its own"
+        )
+    shard_schedulers = [
+        DeclarativeScheduler(
+            make_protocol(protocol, backend, clients=clients, **backend_options),
+            trigger=make_trigger(trigger),
+            config=config,
+            metrics=metrics,
+            recovery=recovery,
+            admission=admission,
+            clock=clock,
+        )
+        for __ in range(shards)
+    ]
+    return ShardedScheduler(
+        shard_schedulers,
+        route=shard_route,
+        cross_shard=cross_shard,
         metrics=metrics,
-        recovery=recovery,
-        admission=admission,
         clock=clock,
     )
 
@@ -239,6 +289,9 @@ def open_service(
     config: SchedulerConfig = SchedulerConfig(),
     metrics: Optional[MetricsCollector] = None,
     check_invariants: bool = False,
+    shards: Optional[int] = None,
+    shard_route: str = "two-phase",
+    cross_shard: Optional[CrossShardPolicy] = None,
     **backend_options,
 ) -> SchedulerService:
     """Build an (unstarted) :class:`SchedulerService` over a freshly
@@ -252,6 +305,13 @@ def open_service(
     :class:`RecoveryPolicy` — a service without timeout aborts and
     orphan reaping would wedge on the first crashed client — pass one
     explicitly to tune it.
+
+    ``shards=N`` serves from a
+    :class:`~repro.shard.scheduler.ShardedScheduler` instead: pooled
+    sessions route transparently, ``--check-invariants`` keeps working
+    globally (per-shard monitors plus the cross-shard grant-union
+    check).  See :func:`make_scheduler` for ``shard_route`` /
+    ``cross_shard``.
     """
     if recovery is None:
         recovery = RecoveryPolicy()
@@ -264,6 +324,9 @@ def open_service(
         recovery=recovery,
         admission=admission,
         clients=max_sessions,
+        shards=shards,
+        shard_route=shard_route,
+        cross_shard=cross_shard,
         **backend_options,
     )
     return SchedulerService(

@@ -576,6 +576,9 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
 
     workload = scenario.workload
     # Seeded sizing: enough transactions that statements + commits
@@ -602,6 +605,8 @@ def _cmd_serve(args) -> int:
             max_sessions=args.sessions,
             max_pipeline=args.pipeline,
             check_invariants=args.check_invariants,
+            shards=args.shards,
+            shard_route=args.shard_route,
         )
     except (BackendError, ValueError) as error:
         print(str(error), file=sys.stderr)
@@ -619,12 +624,17 @@ def _cmd_serve(args) -> int:
             final = service.final_check()
         return report, final
 
+    sharding = (
+        f", {args.shards} shards ({args.shard_route})"
+        if args.shards is not None
+        else ""
+    )
     print(
         f"serving workload {args.workload!r} via {protocol}"
         f"{' on ' + backend if backend else ''}: "
         f"{transactions} transactions (~{planned_requests} requests), "
         f"{args.sessions} sessions × pipeline {args.pipeline}"
-        f"{', trigger ' + trigger if trigger else ''}"
+        f"{', trigger ' + trigger if trigger else ''}{sharding}"
     )
     try:
         report, final = asyncio.run(_serve())
@@ -862,6 +872,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="attach the invariant monitor and assert zero lost "
         "requests at shutdown",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serve from N hash-partitioned scheduler shards instead "
+        "of one (multi-object requests take the --shard-route path)",
+    )
+    serve_parser.add_argument(
+        "--shard-route",
+        choices=("two-phase", "home"),
+        default="two-phase",
+        help="cross-shard routing for multi-object transactions: "
+        "two-phase reserve/commit (default, sound) or home-shard "
+        "(comparison baseline; unsound for cross-object conflicts)",
     )
     serve_parser.add_argument(
         "--json", metavar="PATH", help="write the run's stats as JSON"

@@ -1,4 +1,19 @@
-"""Counters, gauges and timers for instrumenting runs."""
+"""Counters, gauges and timers for instrumenting runs.
+
+Well-known metric families emitted by the schedulers (pass a collector
+via ``api.make_scheduler(metrics=...)`` to receive them):
+
+- ``scheduler.*`` — per-step core counters: batches, qualified
+  requests, history gauge, ``orphan_reaps`` / ``timeout_aborts`` /
+  ``sheds`` from the recovery and admission paths.
+- ``scheduler.delta.*`` — incremental-maintenance timers/counters of
+  the ``compiled-delta`` backend (rows consumed, rebuilds).
+- ``scheduler.xshard.*`` — the sharded facade's cross-shard protocol:
+  ``coordinated`` (transactions that spanned shards), ``broadcasts``
+  (termination fan-outs), ``retries`` / ``giveups`` (two-phase
+  abort-and-retry outcomes), ``stale_grants`` (grants from a
+  superseded incarnation, dropped).
+"""
 
 from __future__ import annotations
 

@@ -15,6 +15,11 @@ live here:
   connections with per-session pipelining (:mod:`repro.serve.session`).
 * :func:`drive_workload` — the seeded pooled workload driver the CLI,
   benchmarks, and tests share (:mod:`repro.serve.client`).
+
+The service drives any object with the scheduler step surface, so
+``repro.api.open_service(..., shards=N)`` serves a
+:class:`~repro.shard.scheduler.ShardedScheduler` through the same
+pooled sessions with no client-visible difference.
 """
 
 from repro.serve.client import DriveReport, drive_workload, generate_profiles

@@ -23,6 +23,8 @@ the crash and moves on.
 
 from __future__ import annotations
 
+__all__ = ["DriveReport", "drive_workload", "generate_profiles"]
+
 import asyncio
 import random
 from dataclasses import dataclass, field

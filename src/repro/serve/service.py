@@ -1,8 +1,9 @@
 """The asyncio scheduler service: one engine, wall-clock paced.
 
 :class:`SchedulerService` wraps a
-:class:`~repro.core.scheduler.DeclarativeScheduler` in a long-lived
-asyncio task.  The scheduler itself is untouched — the same synchronous
+:class:`~repro.core.scheduler.DeclarativeScheduler` (or a
+:class:`~repro.shard.scheduler.ShardedScheduler` — anything with the
+same step surface) in a long-lived asyncio task.  The scheduler itself is untouched — the same synchronous
 ``submit``/``step`` engine the simulator drives with virtual time — and
 the service supplies the two things open traffic needs around it:
 
@@ -36,6 +37,8 @@ from __future__ import annotations
 import asyncio
 import time
 from typing import Optional
+
+__all__ = ["SchedulerService"]
 
 from repro.core.scheduler import DeclarativeScheduler, SchedulerStepResult
 from repro.faults.invariants import InvariantMonitor, lock_model_of

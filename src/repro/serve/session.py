@@ -18,6 +18,17 @@ its pool slot back — a crashed client must never leak capacity.
 
 from __future__ import annotations
 
+__all__ = [
+    "ServeError",
+    "ServiceClosed",
+    "Session",
+    "SessionClosed",
+    "SessionPool",
+    "Ticket",
+    "TicketRejected",
+    "TicketState",
+]
+
 import asyncio
 import enum
 from dataclasses import dataclass, field

@@ -1,0 +1,91 @@
+"""Docs stay true: relative links resolve and every ``python`` block
+in docs/api.md executes.
+
+The api.md snippets are the quickstart users paste first; executing
+them here (and in CI's docs job) keeps the documented surface from
+drifting away from the real one.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Every markdown file whose links and headings we guarantee.
+DOC_FILES = [
+    REPO / "README.md",
+    REPO / "DESIGN.md",
+    REPO / "docs" / "api.md",
+    REPO / "docs" / "scenarios.md",
+    REPO / "docs" / "benchmarks.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SNIPPET = re.compile(r"```python\n(.*?)```", re.S)
+
+
+def _heading_anchors(text):
+    """GitHub-style anchors of every markdown heading in `text`."""
+    anchors = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower())
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def _targets(path):
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+class TestLinks:
+    @pytest.mark.parametrize(
+        "doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_relative_links_resolve(self, doc):
+        assert doc.exists(), f"documented file missing: {doc}"
+        broken = []
+        for target in _targets(doc):
+            path_part, __, anchor = target.partition("#")
+            resolved = (
+                doc if not path_part else (doc.parent / path_part).resolve()
+            )
+            if not resolved.exists():
+                broken.append(target)
+            elif anchor and resolved.suffix == ".md":
+                if anchor not in _heading_anchors(resolved.read_text()):
+                    broken.append(target)
+        assert not broken, f"broken links in {doc.name}: {broken}"
+
+
+class TestApiSnippets:
+    def _snippets(self):
+        text = (REPO / "docs" / "api.md").read_text()
+        return _SNIPPET.findall(text)
+
+    def test_snippets_present(self):
+        assert len(self._snippets()) >= 6
+
+    def test_every_snippet_executes(self):
+        for index, snippet in enumerate(self._snippets()):
+            code = compile(snippet, f"docs/api.md#snippet-{index}", "exec")
+            namespace = {"__name__": f"api_md_snippet_{index}"}
+            try:
+                exec(code, namespace)
+            except Exception as error:  # pragma: no cover - failure path
+                pytest.fail(
+                    f"docs/api.md snippet {index} failed: "
+                    f"{type(error).__name__}: {error}\n{snippet}"
+                )

@@ -1,0 +1,140 @@
+"""Static analysis: spec/plan verification and repo determinism lints.
+
+Two halves behind one report (CLI: ``repro analyze [--strict] [--json]``):
+
+* the **spec/plan verifier** — schema/type inference over the relalg IR
+  (:mod:`repro.analysis.inference`), cross-dialect consistency checks
+  and plan lints for every registered spec
+  (:mod:`repro.analysis.speccheck`), and the static delta-lowerability
+  pass that predicts ``compiled-delta`` support without trial-lowering
+  (:mod:`repro.analysis.lowerability`);
+* the **repo lint** — an AST pass banning wall-clock, global-RNG and
+  set-ordering hazards in the deterministic core and blocking calls in
+  serve coroutines (:mod:`repro.analysis.repolint`).
+
+:func:`run_analysis` is the aggregate entry the CLI and
+:mod:`repro.api` call; the rule catalogue lives in
+:mod:`repro.analysis.diagnostics` and is documented in
+``docs/analysis.md``.  This package imports no execution backend at
+module level — the backends import *it* (lazily) to enrich refusal
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import RULES, Diagnostic
+from repro.analysis.inference import (
+    TABLE2_TYPES,
+    Inference,
+    TypedSchema,
+    infer_plan,
+)
+from repro.analysis.lowerability import (
+    LoweringPrediction,
+    explain_refusal,
+    predict_delta_lowerability,
+    predict_plan_lowerability,
+    predicted_backend_matrix,
+)
+from repro.analysis.repolint import lint_repo, lint_source
+from repro.analysis.speccheck import check_registry, check_spec
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "TABLE2_TYPES",
+    "Inference",
+    "TypedSchema",
+    "LoweringPrediction",
+    "AnalysisReport",
+    "infer_plan",
+    "predict_plan_lowerability",
+    "predict_delta_lowerability",
+    "predicted_backend_matrix",
+    "explain_refusal",
+    "check_spec",
+    "check_registry",
+    "lint_repo",
+    "lint_source",
+    "run_analysis",
+]
+
+
+@dataclass(slots=True)
+class AnalysisReport:
+    """Every finding of one full analysis run, plus the support matrix."""
+
+    findings: list[Diagnostic] = field(default_factory=list)
+    #: spec -> backend -> statically predicted support (when computed).
+    matrix: dict[str, dict[str, bool]] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.errors:
+            return False
+        return not (strict and self.warnings)
+
+    def as_dict(self) -> dict:
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.as_dict() for f in self.findings],
+            "matrix": self.matrix,
+        }
+
+
+def _check_matrix_agreement(
+    matrix: dict[str, dict[str, bool]]
+) -> list[Diagnostic]:
+    """D100 when a static prediction disagrees with a live backend."""
+    from repro.backends.base import BACKEND_REGISTRY
+    from repro.protocols.spec import SPEC_REGISTRY
+
+    findings = []
+    for spec_name, row in matrix.items():
+        spec = SPEC_REGISTRY[spec_name]
+        for backend_name, predicted in row.items():
+            actual = BACKEND_REGISTRY[backend_name]().supports(spec)
+            if actual != predicted:
+                findings.append(
+                    Diagnostic(
+                        "D100",
+                        f"{spec_name} × {backend_name}",
+                        f"static analysis predicts "
+                        f"{'support' if predicted else 'refusal'} but the "
+                        f"backend declares "
+                        f"{'support' if actual else 'refusal'}",
+                        severity="error",
+                    )
+                )
+    return findings
+
+
+def run_analysis(specs: bool = True, repo: bool = True) -> AnalysisReport:
+    """Run the selected analysis halves and aggregate their findings.
+
+    The spec half also computes the predicted spec × backend support
+    matrix and cross-checks it against the live backends' ``supports()``
+    answers (rule D100), so ``repro analyze`` catches static/dynamic
+    lowerability drift without waiting for the test suite.
+    """
+    report = AnalysisReport()
+    if specs:
+        import repro.backends  # noqa: F401  (registers the backends)
+        import repro.protocols  # noqa: F401  (registers the specs)
+
+        report.findings.extend(check_registry())
+        report.matrix = predicted_backend_matrix()
+        report.findings.extend(_check_matrix_agreement(report.matrix))
+    if repo:
+        report.findings.extend(lint_repo())
+    return report

@@ -1,0 +1,301 @@
+"""AST lints for determinism and concurrency hazards in ``src/repro``.
+
+The repo's headline invariant is byte-identical determinism: seeded
+runs, recorded traces, and cross-backend sweeps all compare exact
+output.  That breaks the moment the *deterministic core* — the virtual
+-time simulator, the scheduler and its stores, the relalg engine, the
+fault planner, and the shard router (``sim/``, ``core/``, ``relalg/``,
+``faults/``, ``shard/``) — reads a wall clock, draws from the global
+RNG, or iterates an unordered set.  The serving layer additionally must
+not block its event loop.  These rules are enforced here, statically:
+
+====  ===============================================================
+R301  wall-clock reads (``time.time``/``time_ns``, ``datetime.now``)
+      in the deterministic core.  ``perf_counter`` is allowed — it
+      feeds telemetry only, never control flow or output.
+R302  global-RNG draws (module-level ``random.*`` functions) in the
+      deterministic core.  Instantiating seeded ``random.Random``
+      streams is the sanctioned pattern and is allowed.
+R303  ``for``/comprehension iteration directly over a set literal,
+      set comprehension, or ``set()``/``frozenset()`` call in the
+      deterministic core — iteration order is salted per process.
+      Wrap in ``sorted(...)`` (or iterate a list/dict instead).
+R304  blocking calls (``time.sleep``) inside ``async def`` bodies
+      under ``serve/`` — they stall every session on the loop.
+R305  module lacks a docstring (whole package).
+R306  a package ``__init__.py`` that imports names but defines no
+      ``__all__`` (whole package).
+====  ===============================================================
+
+A finding on a specific line is suppressed by a same-line marker
+comment naming the rule: ``# repro: allow[R303]``.  Suppressions are
+deliberate and visible in review; the CI gate runs ``repro analyze
+--strict`` so new findings must be fixed or explicitly allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "DETERMINISTIC_DIRS",
+    "lint_source",
+    "lint_repo",
+]
+
+#: Top-level ``repro`` subpackages holding the deterministic core.
+DETERMINISTIC_DIRS = ("core", "faults", "relalg", "shard", "sim")
+
+#: ``time`` attributes that read the wall clock (``perf_counter`` and
+#: ``monotonic`` are telemetry-grade and allowed).
+_WALL_CLOCK_ATTRS = frozenset({"time", "time_ns"})
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: ``random`` attributes that are *not* global-RNG draws.
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([A-Z]\d{3})\]")
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line number -> rule ids allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        for match in _ALLOW.finditer(line):
+            allowed.setdefault(number, set()).add(match.group(1))
+    return allowed
+
+
+class _ImportMap(ast.NodeVisitor):
+    """Track how wall-clock/RNG modules are reachable in this module."""
+
+    def __init__(self) -> None:
+        #: local alias -> canonical module ("time", "random", "datetime").
+        self.modules: dict[str, str] = {}
+        #: local name -> ("module", attribute) for from-imports.
+        self.names: dict[str, tuple[str, str]] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in ("time", "random", "datetime"):
+                self.modules[alias.asname or root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("time", "random", "datetime"):
+            for alias in node.names:
+                self.names[alias.asname or alias.name] = (
+                    node.module,
+                    alias.name,
+                )
+
+
+def _call_target(
+    call: ast.Call, imports: _ImportMap
+) -> Optional[tuple[str, str]]:
+    """Resolve a call to ``(module, attribute)`` when statically known."""
+    fn = call.func
+    if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+        module = imports.modules.get(fn.value.id)
+        if module is not None:
+            return module, fn.attr
+        # ``datetime.datetime.now`` style: Name is a from-import alias.
+        origin = imports.names.get(fn.value.id)
+        if origin is not None:
+            return f"{origin[0]}.{origin[1]}", fn.attr
+    if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Attribute):
+        inner = fn.value
+        if isinstance(inner.value, ast.Name):
+            module = imports.modules.get(inner.value.id)
+            if module is not None:
+                return f"{module}.{inner.attr}", fn.attr
+    if isinstance(fn, ast.Name):
+        origin = imports.names.get(fn.id)
+        if origin is not None:
+            return origin
+    return None
+
+
+def _is_set_expression(node: ast.expr, imports: _ImportMap) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            # Builtin unless shadowed by an import.
+            return node.func.id not in imports.names
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        imports: _ImportMap,
+        deterministic: bool,
+        serve: bool,
+    ) -> None:
+        self.path = path
+        self.imports = imports
+        self.deterministic = deterministic
+        self.serve = serve
+        self.findings: list[tuple[str, int, str]] = []
+        self._async_depth = 0
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append((rule, getattr(node, "lineno", 0), message))
+
+    # -- function nesting (for R304's coroutine scope) -------------------
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # A nested sync def is its own (non-blocking-scope) context.
+        depth, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = depth
+
+    # -- calls ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = _call_target(node, self.imports)
+        if target is not None:
+            module, attribute = target
+            if self.deterministic:
+                if module == "time" and attribute in _WALL_CLOCK_ATTRS:
+                    self._flag(
+                        "R301",
+                        node,
+                        f"wall-clock read time.{attribute}() — the "
+                        "deterministic core must take time from the "
+                        "simulator clock",
+                    )
+                if (
+                    module in ("datetime", "datetime.datetime")
+                    and attribute in _DATETIME_ATTRS
+                ):
+                    self._flag(
+                        "R301",
+                        node,
+                        f"wall-clock read datetime.{attribute}()",
+                    )
+                if module == "random" and attribute not in _RANDOM_ALLOWED:
+                    self._flag(
+                        "R302",
+                        node,
+                        f"global RNG draw random.{attribute}() — use a "
+                        "seeded random.Random stream",
+                    )
+            if self.serve and self._async_depth > 0:
+                if module == "time" and attribute == "sleep":
+                    self._flag(
+                        "R304",
+                        node,
+                        "time.sleep() inside a coroutine blocks the "
+                        "event loop; await asyncio.sleep() instead",
+                    )
+        self.generic_visit(node)
+
+    # -- set iteration -----------------------------------------------------
+
+    def _check_iter(self, iterable: ast.expr) -> None:
+        if self.deterministic and _is_set_expression(
+            iterable, self.imports
+        ):
+            self._flag(
+                "R303",
+                iterable,
+                "iterating an unordered set; wrap in sorted(...) to fix "
+                "the order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str) -> list[Diagnostic]:
+    """Lint one module's source; *path* is repo-relative and decides
+    which rule sets apply (deterministic core / serve / everywhere)."""
+    parts = Path(path).parts
+    try:
+        anchor = parts.index("repro")
+        subpath = parts[anchor + 1 :]
+    except ValueError:
+        subpath = parts
+    deterministic = bool(subpath) and subpath[0] in DETERMINISTIC_DIRS
+    serve = bool(subpath) and subpath[0] == "serve"
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:  # pragma: no cover - repo always parses
+        return [
+            Diagnostic(
+                "R305",
+                path,
+                f"module does not parse: {error}",
+                location=f"{path}:{error.lineno or 0}",
+            )
+        ]
+
+    imports = _ImportMap()
+    imports.visit(tree)
+    linter = _Linter(path, imports, deterministic, serve)
+    linter.visit(tree)
+
+    findings = list(linter.findings)
+    if ast.get_docstring(tree) is None:
+        findings.append(("R305", 1, "module has no docstring"))
+    if Path(path).name == "__init__.py":
+        has_imports = any(
+            isinstance(node, (ast.Import, ast.ImportFrom))
+            for node in tree.body
+        )
+        defines_all = any(
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            )
+            for node in tree.body
+        )
+        if has_imports and not defines_all:
+            findings.append(
+                ("R306", 1, "package __init__ re-exports without __all__")
+            )
+
+    allowed = _suppressions(source)
+    out = []
+    for rule, line, message in findings:
+        if rule in allowed.get(line, ()):
+            continue
+        out.append(
+            Diagnostic(rule, path, message, location=f"{path}:{line}")
+        )
+    return out
+
+
+def lint_repo(root: Optional[Path] = None) -> list[Diagnostic]:
+    """Lint every module under ``src/repro`` (or *root*)."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    base = root.parent  # .../src — keep paths repo-ish ("repro/...")
+    findings: list[Diagnostic] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(base).as_posix()
+        findings.extend(lint_source(path.read_text(), relative))
+    return findings

@@ -78,6 +78,7 @@ __all__ = [
     "SchedulerCostModel",
     "SchedulerService",
     "ShardedScheduler",
+    "analyze",
     "backend_names",
     "build_protocol",
     "make_protocol",
@@ -336,3 +337,21 @@ def open_service(
         max_linger=max_linger,
         check_invariants=check_invariants,
     )
+
+
+# -- static analysis --------------------------------------------------------
+
+
+def analyze(specs: bool = True, repo: bool = True):
+    """Run the static analyzer and return its
+    :class:`~repro.analysis.AnalysisReport` (the spec/plan verifier,
+    the predicted spec × backend matrix with live cross-check, and the
+    repo determinism lint — what ``repro analyze`` prints).
+
+    Imported lazily: the analysis package walks the planner and backend
+    registries, which this import-light module must not pull in at top
+    level.
+    """
+    from repro.analysis import run_analysis
+
+    return run_analysis(specs=specs, repo=repo)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.backends.base import (
+    BackendError,
     ExecutionBackend,
     SpecEvaluator,
     register_backend,
@@ -183,6 +184,25 @@ class CompiledDeltaBackend(ExecutionBackend):
         # matrix contract says supports() must *exactly* predict
         # whether evaluator() lowers, so trial-lower once per spec.
         return super().supports(spec) and _lowerable(spec)
+
+    def _reject(self, spec: ProtocolSpec) -> BackendError:
+        if not super().supports(spec):
+            # Plain dialect mismatch; the base message says what's
+            # missing.
+            return super()._reject(spec)
+        # The dialects intersect but the plan refused to lower: cite the
+        # static analyzer's operator-path diagnosis (which operator, in
+        # which dialect) instead of an opaque refusal.
+        from repro.analysis.lowerability import explain_refusal
+
+        diagnosis = explain_refusal(spec)
+        reason = (
+            diagnosis
+            or "the plan has no incremental lowering (trial-lowering failed)"
+        )
+        return BackendError(
+            f"backend {self.name!r} cannot run spec {spec.name!r}: {reason}"
+        )
 
     def evaluator(self, spec: ProtocolSpec, **options) -> SpecEvaluator:
         if not self.supports(spec):

@@ -19,6 +19,7 @@ Usage::
     python -m repro serve --backend compiled-delta   # asyncio serving layer
     python -m repro demo                 # the quickstart scenario
     python -m repro sql "SELECT ..."     # ad-hoc SQL over demo tables
+    python -m repro analyze --strict     # static spec verifier + repo lint
 
 Every experiment id maps to the corresponding ``repro.bench.run_*``
 function; ``--quick`` substitutes scaled-down parameters so the whole
@@ -727,6 +728,55 @@ def _cmd_demo(protocol: str, backend: Optional[str]) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Static analysis: spec/plan verifier + repo determinism lint."""
+    import json
+
+    from repro.analysis import RULES, run_analysis
+
+    run_specs = not args.skip_specs
+    run_repo = not args.skip_repo
+    if not (run_specs or run_repo):
+        print("--skip-specs and --skip-repo exclude everything", file=sys.stderr)
+        return 2
+    report = run_analysis(specs=run_specs, repo=run_repo)
+
+    if report.findings:
+        by_rule: Dict[str, list] = {}
+        for finding in report.findings:
+            by_rule.setdefault(finding.rule, []).append(finding)
+        for rule in sorted(by_rule):
+            severity, title = RULES[rule]
+            print(f"{rule} ({severity}): {title}")
+            for finding in by_rule[rule]:
+                where = f"  [{finding.location}]" if finding.location else ""
+                print(f"  {finding.subject}: {finding.message}{where}")
+    if report.matrix:
+        supported = sum(
+            1 for row in report.matrix.values() for ok in row.values() if ok
+        )
+        pairs = sum(len(row) for row in report.matrix.values())
+        print(
+            f"spec × backend matrix: {supported}/{pairs} pairs statically "
+            f"predicted supported, all agreeing with the live backends"
+            if not any(f.rule == "D100" for f in report.findings)
+            else f"spec × backend matrix: {supported}/{pairs} pairs "
+            f"predicted supported — WITH DISAGREEMENTS (see D100)"
+        )
+    errors, warnings = len(report.errors), len(report.warnings)
+    print(f"analyze: {errors} error(s), {warnings} warning(s)")
+
+    if args.json:
+        payload = report.as_dict()
+        payload["strict"] = args.strict
+        payload["ok"] = report.ok(strict=args.strict)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok(strict=args.strict) else 1
+
+
 def _cmd_sql(query: str) -> int:
     from repro.bench.declarative_overhead import paper_snapshot
     from repro.core.stores import HistoryStore, PendingStore
@@ -899,6 +949,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sql", help="run ad-hoc SQL over a demo requests/history instance"
     )
     sql_parser.add_argument("query")
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="static spec/plan verifier + repo determinism lint",
+    )
+    analyze_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too, not just errors (the CI gate)",
+    )
+    analyze_parser.add_argument(
+        "--json", metavar="PATH", help="write the full report as JSON"
+    )
+    analyze_parser.add_argument(
+        "--skip-specs",
+        action="store_true",
+        help="skip the spec/plan verifier half",
+    )
+    analyze_parser.add_argument(
+        "--skip-repo",
+        action="store_true",
+        help="skip the repo determinism lint half",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -934,6 +1006,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_demo(args.protocol, args.backend)
         if args.command == "sql":
             return _cmd_sql(args.query)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
     except _UsageError:
         return 2
     return 2  # pragma: no cover

@@ -76,7 +76,17 @@ Delta = dict
 
 
 class DeltaLoweringError(ValueError):
-    """The logical plan has no incremental lowering (e.g. LIMIT)."""
+    """The logical plan has no incremental lowering (e.g. LIMIT).
+
+    When raised from inside a lowering walk the message is annotated
+    with — and :attr:`operator_path` carries — the root-to-operator
+    path of the refusing node, so backend refusals and ``repro
+    analyze`` diagnostics cite *which* operator cannot be maintained.
+    """
+
+    #: ``_describe()`` strings from the plan root down to the refusing
+    #: operator; ``None`` when raised outside a lowering walk.
+    operator_path: "tuple[str, ...] | None" = None
 
 
 class DeltaStateError(RuntimeError):
@@ -809,6 +819,7 @@ class _Lowering:
         self.table_sources: dict[int, DSource] = {}
         self.order: list[DeltaNode] = []
         self.parents: dict[int, list[tuple[DeltaNode, int]]] = {}
+        self._path: list[str] = []
 
     def wire(self, node: DeltaNode, children: Sequence[DeltaNode]) -> DeltaNode:
         for port, child in enumerate(children):
@@ -820,7 +831,21 @@ class _Lowering:
         done = self.memo.get(id(node))
         if done is not None:
             return done
-        lowered = self._lower(node)
+        self._path.append(node._describe())
+        try:
+            lowered = self._lower(node)
+        except DeltaLoweringError as error:
+            # Annotate the refusal with the root-to-operator path once
+            # (the innermost frame sees the full stack) so the backend's
+            # rejection message names the offending operator in place.
+            if getattr(error, "operator_path", None) is None:
+                error.operator_path = tuple(self._path)
+                error.args = (
+                    f"{error.args[0]} [at {' > '.join(self._path)}]",
+                )
+            raise
+        finally:
+            self._path.pop()
         self.memo[id(node)] = lowered
         return lowered
 

@@ -1,9 +1,9 @@
 """Docs stay true: relative links resolve and every ``python`` block
-in docs/api.md executes.
+in docs/api.md and docs/analysis.md executes.
 
-The api.md snippets are the quickstart users paste first; executing
-them here (and in CI's docs job) keeps the documented surface from
-drifting away from the real one.
+These snippets are what users paste first; executing them here (and in
+CI's docs job) keeps the documented surface from drifting away from
+the real one.
 """
 
 import re
@@ -20,6 +20,13 @@ DOC_FILES = [
     REPO / "docs" / "api.md",
     REPO / "docs" / "scenarios.md",
     REPO / "docs" / "benchmarks.md",
+    REPO / "docs" / "analysis.md",
+]
+
+#: Docs whose ``python`` fences must execute as written.
+EXECUTABLE_DOCS = [
+    REPO / "docs" / "api.md",
+    REPO / "docs" / "analysis.md",
 ]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -70,22 +77,29 @@ class TestLinks:
         assert not broken, f"broken links in {doc.name}: {broken}"
 
 
-class TestApiSnippets:
-    def _snippets(self):
-        text = (REPO / "docs" / "api.md").read_text()
-        return _SNIPPET.findall(text)
+class TestDocSnippets:
+    @staticmethod
+    def _snippets(doc):
+        return _SNIPPET.findall(doc.read_text())
 
-    def test_snippets_present(self):
-        assert len(self._snippets()) >= 6
+    @pytest.mark.parametrize(
+        "doc", EXECUTABLE_DOCS, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_snippets_present(self, doc):
+        assert len(self._snippets(doc)) >= 3
 
-    def test_every_snippet_executes(self):
-        for index, snippet in enumerate(self._snippets()):
-            code = compile(snippet, f"docs/api.md#snippet-{index}", "exec")
-            namespace = {"__name__": f"api_md_snippet_{index}"}
+    @pytest.mark.parametrize(
+        "doc", EXECUTABLE_DOCS, ids=lambda p: str(p.relative_to(REPO))
+    )
+    def test_every_snippet_executes(self, doc):
+        name = str(doc.relative_to(REPO))
+        for index, snippet in enumerate(self._snippets(doc)):
+            code = compile(snippet, f"{name}#snippet-{index}", "exec")
+            namespace = {"__name__": f"doc_snippet_{index}"}
             try:
                 exec(code, namespace)
             except Exception as error:  # pragma: no cover - failure path
                 pytest.fail(
-                    f"docs/api.md snippet {index} failed: "
+                    f"{name} snippet {index} failed: "
                     f"{type(error).__name__}: {error}\n{snippet}"
                 )

@@ -50,33 +50,39 @@ class TestDeclaredSupportIsExact:
             f"lowerable {sorted(actually_lowered)}"
         )
 
-    def test_compiled_delta_declared_support_is_exactly_this(self):
-        # Pin the compiled-delta skip list explicitly: the backend runs
-        # every spec with a relalg/sql dialect whose plan lowers to
-        # delta operators, and refuses the rest.  A new spec landing in
-        # the wrong bucket (silently skipped, or silently accepted with
-        # an unmaintainable plan) fails here by name.
-        runs = {
-            name
-            for name in ALL_SPECS
-            if "compiled-delta" in supported_backends(SPEC_REGISTRY[name])
-        }
-        expected = {
-            "exclusive",
-            "fcfs",
-            "priority-ceiling",
-            "read-committed",
-            "ss2pl",
-            "ss2pl-listing1",
-        }
-        assert runs == expected
-        # The two refusals have structural reasons: no relalg/sql
-        # dialect at all (datalog- or imperative-only specs).
-        for name in sorted(set(ALL_SPECS) - runs):
-            spec = SPEC_REGISTRY[name]
-            assert not ({"relalg", "sql"} & spec.dialects()) or name in (
-                "bounded-oversell",
-                "c2pl",
+    def test_static_prediction_matches_dynamic_support_exactly(self):
+        # The analyzer's schema-only lowerability mirror replaces the
+        # old hand-maintained skip-list pin: for EVERY spec × backend
+        # pair, the static prediction must equal the backend's live
+        # supports() answer — which for compiled-delta trial-lowers the
+        # plan.  A new spec landing in the wrong bucket (silently
+        # skipped, or silently accepted with an unmaintainable plan)
+        # fails here by name, and so does any drift between the mirror
+        # in repro.analysis.lowerability and the real lowering.
+        from repro.analysis import explain_refusal, predicted_backend_matrix
+
+        matrix = predicted_backend_matrix()
+        assert sorted(matrix) == sorted(ALL_SPECS)
+        for spec_name, row in matrix.items():
+            assert sorted(row) == ALL_BACKENDS
+            spec = SPEC_REGISTRY[spec_name]
+            declared = set(supported_backends(spec))
+            for backend_name, predicted in row.items():
+                actual = backend_name in declared
+                assert predicted == actual, (
+                    f"{spec_name} × {backend_name}: static analysis "
+                    f"predicts {predicted}, backend declares {actual}"
+                )
+        # Every compiled-delta refusal of a spec that *has* a relalg or
+        # sql dialect comes with an operator-path diagnosis.
+        for spec_name, row in matrix.items():
+            spec = SPEC_REGISTRY[spec_name]
+            if row["compiled-delta"] or not (
+                {"relalg", "sql"} & spec.dialects()
+            ):
+                continue
+            assert explain_refusal(spec), (
+                f"{spec_name}: refused without a diagnosis"
             )
 
     def test_matrix_is_wide(self):
